@@ -1,0 +1,35 @@
+// Fig. 1: NBTI-induced Vth drift of a PMOS transistor under continuous
+// stress for 6 months versus alternating one-month stress/recovery phases.
+
+#include "aging/bti.h"
+#include "bench_util.h"
+
+int main() {
+  using namespace lpa;
+  bench::header("NBTI-induced Vth drift: continuous vs. alternating stress",
+                "Fig. 1");
+
+  const BtiModel bti;
+  // Sub-month resolution so the recovery transients are visible.
+  const double step = 0.25;
+  const auto continuous =
+      bti.simulatePhases(6.0, step, [](int) { return true; });
+  const auto alternating = bti.simulatePhases(6.0, step, [&](int i) {
+    // One month of stress, one month of recovery, repeating.
+    return (static_cast<int>(i * step) % 2) == 0;
+  });
+
+  std::printf("%10s %22s %22s\n", "months", "continuous dVth [V]",
+              "stress/recovery dVth [V]");
+  for (std::size_t i = 0; i < continuous.size(); ++i) {
+    std::printf("%10.2f %22.6f %22.6f\n", continuous[i].months,
+                continuous[i].driftV, alternating[i].driftV);
+  }
+  std::printf(
+      "\nShape check (paper): the alternating device recovers part of the\n"
+      "drift each off-month and stays strictly below the continuously\n"
+      "stressed one: %s\n",
+      alternating.back().driftV < continuous.back().driftV ? "HOLDS"
+                                                           : "VIOLATED");
+  return 0;
+}

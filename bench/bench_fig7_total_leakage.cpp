@@ -1,0 +1,54 @@
+// Fig. 7: total leakage power of every implementation, fresh and after 1-4
+// years of aging, split into single-bit (wH(u) = 1, "solid sub-bars") and
+// multi-bit (wH(u) >= 2, "unfilled sub-bars") leakage, plus the paper's
+// single-bit-to-total ratio rows.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace lpa;
+  bench::header(
+      "Total leakage power, fresh and aged, single-bit vs multi-bit",
+      "Fig. 7");
+
+  std::printf("%-16s %6s %14s %14s %14s %10s\n", "impl", "months", "total",
+              "multi-bit", "single-bit", "1bit/total");
+  std::vector<double> protRatio, unprotRatio;
+  for (SboxStyle s : allSboxStyles()) {
+    SboxExperiment exp(s);
+    for (double months : bench::figureAges()) {
+      const SpectralAnalysis sa =
+          exp.analyzeAt(months, EstimatorMode::Debiased);
+      const double total = sa.totalLeakagePower();
+      const double single = sa.totalSingleBitLeakage();
+      const double multi = sa.totalMultiBitLeakage();
+      std::printf("%-16s %6.0f %14.2f %14.2f %14.2f %9.2f%%\n",
+                  bench::styleName(s).c_str(), months, total, multi, single,
+                  100.0 * sa.singleBitToTotalRatio());
+      if (months > 0.0) {
+        if (s == SboxStyle::Lut || s == SboxStyle::Opt) {
+          unprotRatio.push_back(sa.singleBitToTotalRatio());
+        } else {
+          protRatio.push_back(sa.singleBitToTotalRatio());
+        }
+      }
+    }
+  }
+
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  };
+  std::printf(
+      "\naveraged over years 1-4: single-bit share = %.2f%% (unprotected) vs"
+      " %.2f%% (masked)\n",
+      100.0 * mean(unprotRatio), 100.0 * mean(protRatio));
+  std::printf(
+      "(paper: ~14.0%% unprotected vs ~0.5%% masked; our gate-level power\n"
+      "model compresses that gap but keeps the direction and, bar for bar,\n"
+      "the paper's total-leakage ordering LUT > OPT > TI > RSM-ROM > RSM >\n"
+      "GLUT > ISW at every age -- the ordering is asserted by the test\n"
+      "Experiment.PaperFig7OrderingReproduced.)\n");
+  return 0;
+}

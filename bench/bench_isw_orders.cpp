@@ -1,0 +1,40 @@
+// Extension bench: leakage vs. masking order for the ISW construction
+// (d = 1, 2, 3). The paper evaluates d = 1 and notes that d-th order
+// protection can still fall to higher-order attacks; this bench measures
+// how the first-order spectral leakage and the area/randomness cost move
+// as shares are added.
+
+#include "bench_util.h"
+#include "netlist/stats.h"
+#include "sboxes/isw_any_order.h"
+#include "trace/acquisition.h"
+
+int main() {
+  using namespace lpa;
+  bench::header("ISW leakage vs masking order (extension)",
+                "Section II.A discussion");
+
+  std::printf("%6s %10s %10s %12s %14s %12s\n", "order", "shares",
+              "area[GE]", "rand bits", "total leakage", "1-bit share");
+  for (int d = 1; d <= 3; ++d) {
+    const auto sbox = makeIswSboxOfOrder(d);
+    ExperimentConfig cfg;
+    const DelayModel delays(sbox->netlist(), cfg.delay);
+    const PowerModel power(sbox->netlist(), cfg.power);
+    EventSim sim(sbox->netlist(), delays, cfg.sim);
+    const TraceSet traces = acquire(*sbox, sim, power, cfg.acquisition);
+    const SpectralAnalysis sa(traces, 0, EstimatorMode::Debiased);
+    const NetlistStats stats = computeStats(sbox->netlist());
+    std::printf("%6d %10d %10.1f %12d %14.2f %11.2f%%\n", d, d + 1,
+                stats.equivalentGates, sbox->randomBits(),
+                sa.totalLeakagePower(),
+                100.0 * sa.singleBitToTotalRatio());
+  }
+  std::printf(
+      "\nReading: area and randomness grow ~quadratically with the order;\n"
+      "the first-order spectral metric stays in the same small band -- the\n"
+      "benefit of higher orders shows up against higher-order statistics,\n"
+      "not in the mean-trace decomposition (cf. Theorem 1 and the\n"
+      "second-order TVLA in src/analysis).\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the reproduction benches. Each bench binary regenerates
+// one table or figure of the paper and prints it as aligned text (and the
+// figure benches additionally emit CSV-ish rows easy to plot).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace lpa::bench {
+
+inline void header(const std::string& what, const std::string& paperRef) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("(reproduces %s of Bahrami et al., DATE 2022)\n", paperRef.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Months of operation shown in Figs. 7/8 (0 = fresh, then 1..4 years).
+inline const std::vector<double>& figureAges() {
+  static const std::vector<double> kAges = {0.0, 12.0, 24.0, 36.0, 48.0};
+  return kAges;
+}
+
+inline std::string styleName(SboxStyle s) {
+  return std::string(sboxStyleName(s));
+}
+
+}  // namespace lpa::bench

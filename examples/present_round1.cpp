@@ -1,0 +1,102 @@
+// Full-datapath attack study: CPA against nibble 0 of the complete 64-bit
+// PRESENT round-1 circuit (add-round-key + 16 S-boxes), the circuit the
+// paper simulates. The other 15 S-boxes switch concurrently and act as
+// algorithmic noise, so more traces are needed than against an isolated
+// S-box -- the classic divide-and-conquer setting of DPA/CPA.
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "crypto/present.h"
+#include "datapath/round1.h"
+#include "power/power_model.h"
+#include "sim/event_sim.h"
+#include "trace/trace_set.h"
+
+namespace {
+
+using namespace lpa;
+
+TraceSet acquireRound1(const Round1Datapath& dp, std::uint64_t key,
+                       std::uint32_t numTraces, std::uint64_t seed) {
+  const DelayModel delays(dp.netlist(), [] {
+    DelayOptions d;
+    d.jitterSigma = 0.06;
+    return d;
+  }());
+  PowerOptions popts;
+  popts.inputCapFf = 0.6;
+  const PowerModel power(dp.netlist(), popts);
+  EventSim sim(dp.netlist(), delays, SimOptions{DelayKind::Transport, 4.5});
+
+  Prng rng(seed);
+  TraceSet traces(popts.numSamples);
+  for (std::uint32_t i = 0; i < numTraces; ++i) {
+    const std::uint64_t plain = rng.next();
+    sim.settle(dp.encode(0, key, rng));
+    const auto in = dp.encode(plain, key, rng);
+    const auto tr = sim.run(in);
+    traces.add(static_cast<std::uint8_t>(plain & 0xF), power.sample(tr));
+  }
+  return traces;
+}
+
+/// CPA on the label nibble with the HD-from-S(k0) model, signed ranking.
+std::uint8_t attackNibble0(const TraceSet& traces, std::uint8_t keyNibble) {
+  double bestRho = -2.0;
+  std::uint8_t bestGuess = 0;
+  for (std::uint8_t guess = 0; guess < 16; ++guess) {
+    double peak = -2.0;
+    for (std::uint32_t s = 0; s < traces.numSamples(); ++s) {
+      double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+      for (std::size_t i = 0; i < traces.size(); ++i) {
+        const double h = std::popcount(
+            static_cast<unsigned>(kPresentSbox[traces.label(i) ^ guess] ^
+                                  kPresentSbox[guess]));
+        const double x = traces.trace(i)[s];
+        sx += x;
+        sy += h;
+        sxx += x * x;
+        syy += h * h;
+        sxy += x * h;
+      }
+      const double n = static_cast<double>(traces.size());
+      const double cov = sxy - sx * sy / n;
+      const double den =
+          std::sqrt((sxx - sx * sx / n) * (syy - sy * sy / n));
+      if (den > 1e-30) peak = std::max(peak, cov / den);
+    }
+    if (peak > bestRho) {
+      bestRho = peak;
+      bestGuess = guess;
+    }
+  }
+  std::printf("  best guess 0x%X (rho = %.3f) -> %s\n", bestGuess, bestRho,
+              bestGuess == keyNibble ? "KEY NIBBLE RECOVERED" : "failed");
+  return bestGuess;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t key = 0x0123456789ABCDEBULL;  // nibble 0 = 0xB
+  const std::uint8_t k0 = static_cast<std::uint8_t>(key & 0xF);
+
+  std::printf("attacking nibble 0 of the 64-bit unprotected round-1 "
+              "datapath (15 S-boxes of noise)...\n");
+  const Round1Datapath unprotected(SboxStyle::Lut);
+  std::printf("netlist: %zu nets, %zu inputs\n",
+              unprotected.netlist().numGates(),
+              unprotected.netlist().inputs().size());
+  for (std::uint32_t n : {256u, 1024u}) {
+    std::printf("with %4u traces:\n", n);
+    attackNibble0(acquireRound1(unprotected, key, n, 1), k0);
+  }
+
+  std::printf("\nsame attack against the ISW-masked datapath:\n");
+  const Round1Datapath masked(SboxStyle::Isw);
+  std::printf("with 1024 traces:\n");
+  attackNibble0(acquireRound1(masked, key, 1024, 2), k0);
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Theorem 1 demo: Boolean masking of ANY order leaks the secret through the
+// parity of the Hamming weight of its shares -- while the mean Hamming
+// weight stays perfectly balanced.
+
+#include <cstdio>
+
+#include <initializer_list>
+
+#include "analysis/theorem1.h"
+
+int main() {
+  using namespace lpa;
+  Prng rng(2022);
+
+  std::printf("%6s %8s %22s %26s\n", "order", "shares", "parity match rate",
+              "corr(mean HW, secret)");
+  for (int order : {0, 1, 2, 3, 4, 6, 10}) {
+    const ParityLeakResult res = checkHammingParityLeak(order, 20000, rng);
+    const double rho = hammingWeightCorrelation(order, 20000, rng);
+    std::printf("%6d %8d %21.1f%% %26.4f\n", order, order + 1,
+                100.0 * res.matchRate(), rho);
+  }
+  std::printf(
+      "\nTheorem 1 (paper): LSB(wH(x_0..x_d)) = x_0 ^ ... ^ x_d = x.\n"
+      "The parity column is pinned at 100%% for every order, while the\n"
+      "first-order statistic (mean HW correlation) vanishes: the leak is\n"
+      "structural and no amount of shares removes it. This is why the\n"
+      "paper's spectral metric, which captures such nonlinear components,\n"
+      "matters beyond first-order testing.\n");
+  return 0;
+}

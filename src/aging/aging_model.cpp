@@ -1,0 +1,44 @@
+#include "aging/aging_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lpa {
+
+AgingFactors AgingModel::evaluate(const StressProfile& stress,
+                                  double months) const {
+  if (stress.dutyHigh.size() != stress.togglesPerCycle.size()) {
+    throw std::invalid_argument("inconsistent stress profile");
+  }
+  const BtiModel bti(p_.bti);
+  const HciModel hci(p_.hci);
+  const std::size_t n = stress.dutyHigh.size();
+
+  AgingFactors f;
+  f.vthShiftV.resize(n);
+  f.amplitudeScale.resize(n);
+  f.delayScale.resize(n);
+
+  const double overdrive0 = p_.vdd - p_.vth0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // PMOS is under NBTI stress while the output is high; NMOS under PBTI
+    // while the output is low; HCI accrues with switching activity.
+    const double nbti = bti.longTermDriftV(months, stress.dutyHigh[i]);
+    const double pbti =
+        bti.longTermDriftV(months, 1.0 - stress.dutyHigh[i]);
+    const double hciDrift = hci.driftV(months, stress.togglesPerCycle[i]);
+    const double drift = p_.nbtiWeight * nbti +
+                         p_.pbtiWeight * (pbti + hciDrift);
+    const double overdrive = overdrive0 - drift;
+    const double ratio =
+        overdrive > 0.0 ? overdrive / overdrive0 : 1e-3;
+    const double current = std::pow(ratio, p_.alphaPower);
+    f.vthShiftV[i] = drift;
+    f.amplitudeScale[i] = current;
+    f.delayScale[i] =
+        1.0 + p_.delayCouplingFraction * (1.0 / current - 1.0);
+  }
+  return f;
+}
+
+}  // namespace lpa

@@ -1,0 +1,39 @@
+#include "aging/bti.h"
+
+#include <cmath>
+
+namespace lpa {
+
+double BtiModel::longTermDriftV(double months, double duty) const {
+  if (months <= 0.0 || duty <= 0.0) return 0.0;
+  const double stressDrift =
+      p_.aVoltsPerMonthPow * std::pow(duty, p_.dutyExponent) *
+      std::pow(months, p_.timeExponent);
+  // During the (1-duty) share of time the device recovers; the recoverable
+  // fraction anneals away proportionally.
+  const double recovered = p_.recoverableFraction * (1.0 - duty);
+  return stressDrift * (1.0 - recovered);
+}
+
+BtiState BtiModel::stressStep(const BtiState& s, double dtMonths) const {
+  // Power-law continuation: invert t from the current total drift, advance.
+  const double a = p_.aVoltsPerMonthPow;
+  const double n = p_.timeExponent;
+  const double total = s.totalV();
+  const double tEquiv = total <= 0.0 ? 0.0 : std::pow(total / a, 1.0 / n);
+  const double newTotal = a * std::pow(tEquiv + dtMonths, n);
+  const double increment = newTotal - total;
+  BtiState out = s;
+  out.permanentV += (1.0 - p_.recoverableFraction) * increment;
+  out.recoverableV += p_.recoverableFraction * increment;
+  return out;
+}
+
+BtiState BtiModel::recoveryStep(const BtiState& s, double dtMonths) const {
+  BtiState out = s;
+  out.recoverableV *= std::exp(-dtMonths / p_.recoveryHalfLifeMonths *
+                               std::log(2.0));
+  return out;
+}
+
+}  // namespace lpa

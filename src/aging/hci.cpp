@@ -1,0 +1,14 @@
+#include "aging/hci.h"
+
+#include <cmath>
+
+namespace lpa {
+
+double HciModel::driftV(double months, double togglesPerCycle) const {
+  if (months <= 0.0 || togglesPerCycle <= 0.0) return 0.0;
+  return p_.bVoltsPerUnit *
+         std::pow(togglesPerCycle, p_.activityExponent) *
+         std::pow(months, p_.timeExponent) / std::pow(48.0, p_.timeExponent);
+}
+
+}  // namespace lpa

@@ -1,0 +1,31 @@
+#pragma once
+// Hot Carrier Injection compact model.
+//
+// HCI degrades NMOS devices during switching: carriers injected into the
+// gate dielectric shift the threshold voltage in proportion to how often the
+// transistor switches. The standard empirical form is a square-root-of-time
+// power law scaled by the activity factor and clock frequency.
+
+namespace lpa {
+
+struct HciParams {
+  double bVoltsPerUnit = 0.006;  ///< drift [V] at 48 months, 1 toggle/cycle
+  double timeExponent = 0.45;    ///< t^m, m close to 0.5
+  double activityExponent = 0.5; ///< sub-linear in toggles per cycle
+};
+
+class HciModel {
+ public:
+  explicit HciModel(const HciParams& p = {}) : p_(p) {}
+
+  /// Drift after `months` for a transistor toggling `togglesPerCycle`
+  /// times per clock cycle on average (>= 0; glitching gates exceed 1).
+  double driftV(double months, double togglesPerCycle) const;
+
+  const HciParams& params() const { return p_; }
+
+ private:
+  HciParams p_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,62 @@
+#include "analysis/theorem1.h"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace lpa {
+
+namespace {
+
+/// Draws d+1 shares of `secret`; returns the packed share word.
+std::uint32_t randomSharing(std::uint8_t secret, int order, Prng& rng) {
+  std::uint32_t shares = 0;
+  std::uint8_t acc = 0;
+  for (int i = 0; i < order; ++i) {
+    const std::uint8_t s = rng.bit();
+    shares |= static_cast<std::uint32_t>(s) << i;
+    acc = static_cast<std::uint8_t>(acc ^ s);
+  }
+  shares |= static_cast<std::uint32_t>(secret ^ acc) << order;
+  return shares;
+}
+
+}  // namespace
+
+ParityLeakResult checkHammingParityLeak(int order, std::uint64_t trials,
+                                        Prng& rng) {
+  if (order < 0 || order > 30) throw std::invalid_argument("order 0..30");
+  ParityLeakResult res;
+  res.order = order;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint8_t secret = rng.bit();
+    const std::uint32_t shares = randomSharing(secret, order, rng);
+    const int hw = std::popcount(shares);
+    ++res.trials;
+    if ((hw & 1) == secret) ++res.parityMatches;
+  }
+  return res;
+}
+
+double hammingWeightCorrelation(int order, std::uint64_t trials, Prng& rng) {
+  double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const std::uint8_t secret = rng.bit();
+    const double hw = static_cast<double>(
+        std::popcount(randomSharing(secret, order, rng)));
+    const double x = static_cast<double>(secret);
+    sx += x;
+    sy += hw;
+    sxx += x * x;
+    syy += hw * hw;
+    sxy += x * hw;
+  }
+  const double n = static_cast<double>(trials);
+  const double cov = sxy - sx * sy / n;
+  const double vx = sxx - sx * sx / n;
+  const double vy = syy - sy * sy / n;
+  const double denom = std::sqrt(vx * vy);
+  return denom > 1e-30 ? cov / denom : 0.0;
+}
+
+}  // namespace lpa

@@ -1,0 +1,92 @@
+#include "analysis/tvla.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lpa {
+
+WelchAccumulator::WelchAccumulator(std::uint32_t numSamples)
+    : mean_(numSamples, 0.0), m2_(numSamples, 0.0) {}
+
+void WelchAccumulator::add(const double* trace) {
+  ++n_;
+  for (std::size_t s = 0; s < mean_.size(); ++s) {
+    const double delta = trace[s] - mean_[s];
+    mean_[s] += delta / static_cast<double>(n_);
+    m2_[s] += delta * (trace[s] - mean_[s]);
+  }
+}
+
+double WelchAccumulator::variance(std::uint32_t s) const {
+  return n_ > 1 ? m2_[s] / static_cast<double>(n_ - 1) : 0.0;
+}
+
+std::vector<double> welchT(const WelchAccumulator& a,
+                           const WelchAccumulator& b) {
+  if (a.count() < 2 || b.count() < 2) {
+    throw std::invalid_argument("need at least 2 traces per population");
+  }
+  if (a.numSamples() != b.numSamples()) {
+    throw std::invalid_argument("population sample counts differ");
+  }
+  std::vector<double> t(a.numSamples(), 0.0);
+  for (std::uint32_t s = 0; s < a.numSamples(); ++s) {
+    const double va = a.variance(s) / static_cast<double>(a.count());
+    const double vb = b.variance(s) / static_cast<double>(b.count());
+    const double denom = std::sqrt(va + vb);
+    t[s] = denom > 1e-30 ? (a.mean(s) - b.mean(s)) / denom : 0.0;
+  }
+  return t;
+}
+
+bool tvlaFails(const std::vector<double>& tWave, double threshold) {
+  for (double t : tWave) {
+    if (std::abs(t) > threshold) return true;
+  }
+  return false;
+}
+
+std::vector<double> fixedVsRandomT(const TraceSet& traces,
+                                   std::uint8_t fixedClass) {
+  WelchAccumulator fixed(traces.numSamples());
+  WelchAccumulator random(traces.numSamples());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (traces.label(i) == fixedClass) {
+      fixed.add(traces.trace(i));
+    } else {
+      random.add(traces.trace(i));
+    }
+  }
+  return welchT(fixed, random);
+}
+
+TraceSet centeredSquares(const TraceSet& traces) {
+  const std::uint32_t numSamples = traces.numSamples();
+  std::vector<double> mean(numSamples, 0.0);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const double* x = traces.trace(i);
+    for (std::uint32_t s = 0; s < numSamples; ++s) mean[s] += x[s];
+  }
+  const double n = static_cast<double>(traces.size());
+  if (n > 0) {
+    for (double& m : mean) m /= n;
+  }
+  TraceSet out(numSamples, traces.numClasses());
+  std::vector<double> row(numSamples);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const double* x = traces.trace(i);
+    for (std::uint32_t s = 0; s < numSamples; ++s) {
+      const double d = x[s] - mean[s];
+      row[s] = d * d;
+    }
+    out.add(traces.label(i), row);
+  }
+  return out;
+}
+
+std::vector<double> secondOrderFixedVsRandomT(const TraceSet& traces,
+                                              std::uint8_t fixedClass) {
+  return fixedVsRandomT(centeredSquares(traces), fixedClass);
+}
+
+}  // namespace lpa

@@ -1,0 +1,58 @@
+#pragma once
+// Test Vector Leakage Assessment: Welch's t-test between two trace
+// populations (fixed-vs-random), the standard first-order leakage detection
+// methodology complementing the paper's spectral analysis.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_set.h"
+
+namespace lpa {
+
+/// Streaming accumulator for one population (per-sample mean/variance via
+/// Welford's algorithm).
+class WelchAccumulator {
+ public:
+  explicit WelchAccumulator(std::uint32_t numSamples);
+
+  void add(const double* trace);
+  void add(const std::vector<double>& trace) { add(trace.data()); }
+
+  std::uint64_t count() const { return n_; }
+  std::uint32_t numSamples() const {
+    return static_cast<std::uint32_t>(mean_.size());
+  }
+  double mean(std::uint32_t s) const { return mean_[s]; }
+  double variance(std::uint32_t s) const;
+
+ private:
+  std::uint64_t n_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+};
+
+/// Welch's t statistic per sample between two populations.
+std::vector<double> welchT(const WelchAccumulator& a,
+                           const WelchAccumulator& b);
+
+/// TVLA verdict: true if |t| exceeds `threshold` (conventionally 4.5)
+/// anywhere.
+bool tvlaFails(const std::vector<double>& tWave, double threshold = 4.5);
+
+/// Convenience: splits `traces` into fixed class (label == fixedClass) vs
+/// all others and returns the t-wave.
+std::vector<double> fixedVsRandomT(const TraceSet& traces,
+                                   std::uint8_t fixedClass);
+
+/// Second-order preprocessing: each sample is replaced by its squared
+/// deviation from the all-traces mean at that sample. A first-order t-test
+/// on the result detects second-order (variance) leakage, the standard
+/// recipe for attacking first-order-masked implementations.
+TraceSet centeredSquares(const TraceSet& traces);
+
+/// Fixed-vs-random Welch t on the centered-square traces.
+std::vector<double> secondOrderFixedVsRandomT(const TraceSet& traces,
+                                              std::uint8_t fixedClass);
+
+}  // namespace lpa

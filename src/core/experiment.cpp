@@ -1,0 +1,64 @@
+#include "core/experiment.h"
+
+namespace lpa {
+
+SboxExperiment::SboxExperiment(SboxStyle style, const ExperimentConfig& cfg)
+    : cfg_(cfg),
+      sbox_(makeSbox(style)),
+      delays_(sbox_->netlist(), cfg.delay),
+      power_(sbox_->netlist(), cfg.power),
+      sim_(sbox_->netlist(), delays_, cfg.sim) {}
+
+const StressProfile& SboxExperiment::stressProfile() {
+  if (!stress_) {
+    StressAccumulator acc(sbox_->netlist().numGates());
+    Prng rng(cfg_.stressSeed);
+    EventSim sim(sbox_->netlist(), delays_, cfg_.sim);
+    // Representative field operation: random texts with fresh masks each
+    // cycle; duty comes from the settled states, toggles from the events.
+    std::vector<std::uint8_t> prev = sbox_->encode(rng.nibble(), rng);
+    sim.settle(prev);
+    for (std::uint32_t c = 0; c < cfg_.stressCycles; ++c) {
+      const std::vector<std::uint8_t> next = sbox_->encode(rng.nibble(), rng);
+      const std::vector<Transition> tr = sim.run(next);
+      acc.addTransitions(tr);
+      // Record the settled state of this cycle.
+      std::vector<std::uint8_t> state(sbox_->netlist().numGates());
+      for (NetId i = 0; i < sbox_->netlist().numGates(); ++i) {
+        state[i] = sim.value(i);
+      }
+      acc.addSettledState(state);
+    }
+    stress_ = std::make_unique<StressProfile>(acc.finalize());
+  }
+  return *stress_;
+}
+
+AgingFactors SboxExperiment::agingFactorsAt(double months) {
+  const AgingModel model(cfg_.aging);
+  return model.evaluate(stressProfile(), months);
+}
+
+void SboxExperiment::applyAge(double months) {
+  if (months <= 0.0) {
+    delays_.clearAging();
+    power_.clearAging();
+    return;
+  }
+  const AgingFactors f = agingFactorsAt(months);
+  delays_.setAgingFactors(f.delayScale);
+  power_.setAgingFactors(f.amplitudeScale);
+}
+
+TraceSet SboxExperiment::acquireAt(double months) {
+  applyAge(months);
+  return acquire(*sbox_, sim_, power_, cfg_.acquisition);
+}
+
+SpectralAnalysis SboxExperiment::analyzeAt(double months,
+                                           EstimatorMode mode) {
+  const TraceSet traces = acquireAt(months);
+  return SpectralAnalysis(traces, 0, mode);
+}
+
+}  // namespace lpa

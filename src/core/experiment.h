@@ -1,0 +1,77 @@
+#pragma once
+// End-to-end experiment pipeline: netlist -> stress profile -> aging ->
+// trace acquisition -> spectral leakage analysis. This is what every bench
+// binary drives; benches only differ in which slice of the result they
+// print.
+
+#include <memory>
+
+#include "aging/aging_model.h"
+#include "core/leakage.h"
+#include "power/power_model.h"
+#include "sboxes/masked_sbox.h"
+#include "sim/delay_model.h"
+#include "sim/event_sim.h"
+#include "trace/acquisition.h"
+
+namespace lpa {
+
+struct ExperimentConfig {
+  AcquisitionConfig acquisition;
+  PowerOptions power;
+  DelayOptions delay;
+  AgingParams aging;
+  SimOptions sim;
+  std::uint32_t stressCycles = 512;       ///< cycles for duty/toggle profile
+  std::uint64_t stressSeed = 0x57E55ULL;
+
+  /// The defaults below are the calibrated operating point that reproduces
+  /// the paper's leakage ordering (see DESIGN.md section 5 and
+  /// EXPERIMENTS.md): transport delays with partial-swing energy weighting
+  /// model the analog reality that narrow glitch pulses propagate with
+  /// attenuated swing; 6% process jitter supplies the arrival-time races
+  /// that make glitches data-dependent.
+  ExperimentConfig() {
+    delay.jitterSigma = 0.06;
+    power.inputCapFf = 0.6;
+    sim.kind = DelayKind::Transport;
+    sim.fullSwingFactor = 4.5;
+  }
+};
+
+/// Owns one implementation and all models needed to run the paper's
+/// measurement campaign on it at any device age.
+class SboxExperiment {
+ public:
+  explicit SboxExperiment(SboxStyle style, const ExperimentConfig& cfg = {});
+
+  const MaskedSbox& sbox() const { return *sbox_; }
+  const ExperimentConfig& config() const { return cfg_; }
+
+  /// Field-stress profile (random operation), computed once and cached.
+  const StressProfile& stressProfile();
+
+  /// Collects the paper's 1024-trace balanced dataset with the device aged
+  /// by `months` (0 = fresh).
+  TraceSet acquireAt(double months);
+
+  /// Acquire + spectral decomposition in one step. `Debiased` subtracts the
+  /// mask-sampling noise floor (recommended for cross-style comparisons).
+  SpectralAnalysis analyzeAt(double months,
+                             EstimatorMode mode = EstimatorMode::Raw);
+
+  /// Per-gate aging factors at `months` (exposed for inspection/benches).
+  AgingFactors agingFactorsAt(double months);
+
+ private:
+  void applyAge(double months);
+
+  ExperimentConfig cfg_;
+  std::unique_ptr<MaskedSbox> sbox_;
+  DelayModel delays_;
+  PowerModel power_;
+  EventSim sim_;
+  std::unique_ptr<StressProfile> stress_;
+};
+
+}  // namespace lpa

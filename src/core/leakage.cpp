@@ -1,0 +1,120 @@
+#include "core/leakage.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "core/wht.h"
+
+namespace lpa {
+
+SpectralAnalysis::SpectralAnalysis(const TraceSet& traces, std::size_t firstN,
+                                   EstimatorMode mode)
+    : numSamples_(traces.numSamples()), mode_(mode) {
+  if (traces.numClasses() != 16) {
+    throw std::invalid_argument("spectral analysis expects 16 classes");
+  }
+  const std::size_t n =
+      firstN == 0 ? traces.size() : std::min(firstN, traces.size());
+
+  // Per-class mean and (unbiased) variance per sample, via Welford.
+  std::vector<std::vector<double>> mean(
+      16, std::vector<double>(numSamples_, 0.0));
+  std::vector<std::vector<double>> m2(
+      16, std::vector<double>(numSamples_, 0.0));
+  std::array<std::uint64_t, 16> count{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t c = traces.label(i);
+    const double* x = traces.trace(i);
+    ++count[c];
+    const double k = static_cast<double>(count[c]);
+    for (std::uint32_t s = 0; s < numSamples_; ++s) {
+      const double delta = x[s] - mean[c][s];
+      mean[c][s] += delta / k;
+      m2[c][s] += delta * (x[s] - mean[c][s]);
+    }
+  }
+
+  for (auto& wave : coeff_) wave.assign(numSamples_, 0.0);
+  std::array<double, 16> f{};
+  for (std::uint32_t t = 0; t < numSamples_; ++t) {
+    for (std::uint32_t c = 0; c < 16; ++c) f[c] = mean[c][t];
+    const std::array<double, 16> a = whtCoefficients16(f);
+    for (std::uint32_t u = 0; u < 16; ++u) coeff_[u][t] = a[u];
+  }
+
+  // Mask-sampling noise floor: Var(a_u_hat) = (1/16) sum_c Var_c / N_c,
+  // identical for every u by orthonormality.
+  noiseFloor_.assign(numSamples_, 0.0);
+  if (mode_ == EstimatorMode::Debiased) {
+    for (std::uint32_t t = 0; t < numSamples_; ++t) {
+      double floor = 0.0;
+      for (std::uint32_t c = 0; c < 16; ++c) {
+        if (count[c] >= 2) {
+          const double var =
+              m2[c][t] / static_cast<double>(count[c] - 1);
+          floor += var / static_cast<double>(count[c]);
+        }
+      }
+      noiseFloor_[t] = floor / 16.0;
+    }
+  }
+}
+
+double SpectralAnalysis::energy(std::uint32_t u, std::uint32_t t) const {
+  const double raw = coeff_[u][t] * coeff_[u][t];
+  if (mode_ == EstimatorMode::Raw) return raw;
+  return std::max(0.0, raw - noiseFloor_[t]);
+}
+
+std::vector<double> SpectralAnalysis::sumOverU(int minWeight,
+                                               int maxWeight) const {
+  std::vector<double> out(numSamples_, 0.0);
+  for (std::uint32_t u = 1; u < 16; ++u) {
+    const int w = std::popcount(u);
+    if (w < minWeight || w > maxWeight) continue;
+    for (std::uint32_t t = 0; t < numSamples_; ++t) {
+      out[t] += energy(u, t);
+    }
+  }
+  return out;
+}
+
+std::vector<double> SpectralAnalysis::leakagePowerPerSample() const {
+  return sumOverU(1, 4);
+}
+
+std::vector<double> SpectralAnalysis::singleBitLeakagePerSample() const {
+  return sumOverU(1, 1);
+}
+
+std::vector<double> SpectralAnalysis::multiBitLeakagePerSample() const {
+  return sumOverU(2, 4);
+}
+
+namespace {
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+}  // namespace
+
+double SpectralAnalysis::totalLeakagePower() const {
+  return sum(leakagePowerPerSample());
+}
+
+double SpectralAnalysis::totalSingleBitLeakage() const {
+  return sum(singleBitLeakagePerSample());
+}
+
+double SpectralAnalysis::totalMultiBitLeakage() const {
+  return sum(multiBitLeakagePerSample());
+}
+
+double SpectralAnalysis::singleBitToTotalRatio() const {
+  const double total = totalLeakagePower();
+  return total > 0.0 ? totalSingleBitLeakage() / total : 0.0;
+}
+
+}  // namespace lpa

@@ -1,0 +1,44 @@
+#include "core/wht.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lpa {
+
+void fwht(std::vector<double>& data) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("FWHT length must be a power of two");
+  }
+  for (std::size_t step = 1; step < n; step <<= 1) {
+    for (std::size_t block = 0; block < n; block += step << 1) {
+      for (std::size_t i = block; i < block + step; ++i) {
+        const double x = data[i];
+        const double y = data[i + step];
+        data[i] = x + y;
+        data[i + step] = x - y;
+      }
+    }
+  }
+}
+
+std::array<double, 16> whtCoefficients16(const std::array<double, 16>& f) {
+  std::vector<double> v(f.begin(), f.end());
+  fwht(v);
+  std::array<double, 16> out{};
+  for (std::size_t u = 0; u < 16; ++u) out[u] = v[u] / 4.0;  // 2^{n/2}, n=4
+  return out;
+}
+
+std::vector<double> whtCoefficients(std::vector<double> f) {
+  const double norm = std::sqrt(static_cast<double>(f.size()));
+  fwht(f);
+  for (double& v : f) v /= norm;
+  return f;
+}
+
+std::vector<double> whtInverse(std::vector<double> a) {
+  return whtCoefficients(std::move(a));
+}
+
+}  // namespace lpa

@@ -1,0 +1,161 @@
+#include "crypto/present.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+const std::array<std::uint8_t, 16> kPresentSbox = {
+    0xC, 0x5, 0x6, 0xB, 0x9, 0x0, 0xA, 0xD,
+    0x3, 0xE, 0xF, 0x8, 0x4, 0x7, 0x1, 0x2};
+
+const std::array<std::uint8_t, 16> kPresentSboxInv = {
+    0x5, 0xE, 0xF, 0x8, 0xC, 0x1, 0x2, 0xD,
+    0xB, 0x4, 0x6, 0x3, 0x0, 0x7, 0x9, 0xA};
+
+std::uint8_t presentPLayerBit(std::uint8_t i) {
+  return i == 63 ? 63 : static_cast<std::uint8_t>((16u * i) % 63u);
+}
+
+std::uint64_t Present::sBoxLayer(std::uint64_t state) {
+  std::uint64_t out = 0;
+  for (int n = 0; n < 16; ++n) {
+    const std::uint64_t nib = (state >> (4 * n)) & 0xF;
+    out |= static_cast<std::uint64_t>(kPresentSbox[nib]) << (4 * n);
+  }
+  return out;
+}
+
+std::uint64_t Present::sBoxLayerInv(std::uint64_t state) {
+  std::uint64_t out = 0;
+  for (int n = 0; n < 16; ++n) {
+    const std::uint64_t nib = (state >> (4 * n)) & 0xF;
+    out |= static_cast<std::uint64_t>(kPresentSboxInv[nib]) << (4 * n);
+  }
+  return out;
+}
+
+std::uint64_t Present::pLayer(std::uint64_t state) {
+  std::uint64_t out = 0;
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    if ((state >> i) & 1u) out |= std::uint64_t{1} << presentPLayerBit(i);
+  }
+  return out;
+}
+
+std::uint64_t Present::pLayerInv(std::uint64_t state) {
+  std::uint64_t out = 0;
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    if ((state >> presentPLayerBit(i)) & 1u) out |= std::uint64_t{1} << i;
+  }
+  return out;
+}
+
+Present::Present(PresentKeySize size, const std::vector<std::uint8_t>& key) {
+  if (size == PresentKeySize::K80) {
+    if (key.size() != 10) throw std::invalid_argument("K80 needs 10 bytes");
+    scheduleK80(key);
+  } else {
+    if (key.size() != 16) throw std::invalid_argument("K128 needs 16 bytes");
+    scheduleK128(key);
+  }
+}
+
+void Present::scheduleK80(const std::vector<std::uint8_t>& key) {
+  // Key register: 80 bits, key[0] is the most significant byte.
+  // Represent as hi (bits 79..16, 64 bits) and lo (bits 15..0).
+  std::uint64_t hi = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | key[static_cast<std::size_t>(i)];
+  std::uint64_t lo = (static_cast<std::uint64_t>(key[8]) << 8) | key[9];
+
+  roundKeys_.clear();
+  roundKeys_.reserve(32);
+  for (std::uint64_t round = 1; round <= 32; ++round) {
+    roundKeys_.push_back(hi);  // leftmost 64 bits
+    if (round == 32) break;
+    // Rotate the 80-bit register left by 61.
+    const std::uint64_t fullHi = hi;
+    const std::uint64_t fullLo = lo & 0xFFFF;
+    // bits numbered 79..0: value = fullHi << 16 | fullLo
+    // left-rotate by 61: new[i] = old[(i - 61) mod 80] = old[(i + 19) mod 80]
+    std::uint64_t nhi = 0, nlo = 0;
+    auto bit = [&](int i) -> std::uint64_t {
+      return i < 16 ? (fullLo >> i) & 1u : (fullHi >> (i - 16)) & 1u;
+    };
+    for (int i = 0; i < 80; ++i) {
+      const std::uint64_t b = bit((i + 19) % 80);
+      if (i < 16) {
+        nlo |= b << i;
+      } else {
+        nhi |= b << (i - 16);
+      }
+    }
+    hi = nhi;
+    lo = nlo;
+    // S-box on the top nibble (bits 79..76).
+    const std::uint64_t top = (hi >> 60) & 0xF;
+    hi = (hi & ~(std::uint64_t{0xF} << 60)) |
+         (static_cast<std::uint64_t>(kPresentSbox[top]) << 60);
+    // Round counter XORed into bits 19..15.
+    const std::uint64_t ctr = round & 0x1F;
+    // bits 19..16 live in hi bits 3..0; bit 15 lives in lo bit 15.
+    hi ^= ctr >> 1;
+    lo ^= (ctr & 1u) << 15;
+  }
+}
+
+void Present::scheduleK128(const std::vector<std::uint8_t>& key) {
+  // 128-bit register as two 64-bit halves, key[0] most significant.
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) hi = (hi << 8) | key[static_cast<std::size_t>(i)];
+  for (int i = 8; i < 16; ++i) {
+    lo = (lo << 8) | key[static_cast<std::size_t>(i)];
+  }
+
+  roundKeys_.clear();
+  roundKeys_.reserve(32);
+  for (std::uint64_t round = 1; round <= 32; ++round) {
+    roundKeys_.push_back(hi);
+    if (round == 32) break;
+    // Left-rotate the 128-bit register by 61.
+    const std::uint64_t nhi = (hi << 61) | (lo >> 3);
+    const std::uint64_t nlo = (lo << 61) | (hi >> 3);
+    hi = nhi;
+    lo = nlo;
+    // S-box on the two top nibbles (bits 127..120).
+    const std::uint64_t t1 = (hi >> 60) & 0xF;
+    const std::uint64_t t2 = (hi >> 56) & 0xF;
+    hi = (hi & ~(std::uint64_t{0xFF} << 56)) |
+         (static_cast<std::uint64_t>(kPresentSbox[t1]) << 60) |
+         (static_cast<std::uint64_t>(kPresentSbox[t2]) << 56);
+    // Round counter XORed into bits 66..62.
+    const std::uint64_t ctr = round & 0x1F;
+    hi ^= ctr >> 2;               // bits 66..64 -> hi bits 2..0
+    lo ^= (ctr & 0x3) << 62;      // bits 63..62
+  }
+}
+
+std::uint64_t Present::encrypt(std::uint64_t plaintext) const {
+  std::uint64_t state = plaintext;
+  for (int round = 0; round < 31; ++round) {
+    state ^= roundKeys_[static_cast<std::size_t>(round)];
+    state = sBoxLayer(state);
+    state = pLayer(state);
+  }
+  return state ^ roundKeys_[31];
+}
+
+std::uint64_t Present::decrypt(std::uint64_t ciphertext) const {
+  std::uint64_t state = ciphertext ^ roundKeys_[31];
+  for (int round = 30; round >= 0; --round) {
+    state = pLayerInv(state);
+    state = sBoxLayerInv(state);
+    state ^= roundKeys_[static_cast<std::size_t>(round)];
+  }
+  return state;
+}
+
+std::uint64_t Present::round1AfterSbox(std::uint64_t plaintext) const {
+  return sBoxLayer(plaintext ^ roundKeys_[0]);
+}
+
+}  // namespace lpa

@@ -1,0 +1,54 @@
+#pragma once
+// The PRESENT lightweight block cipher (ISO/IEC 29192-2), 64-bit blocks,
+// 80- or 128-bit keys, 31 rounds + final whitening key.
+//
+// The S-box of this cipher is the function every implementation in this
+// repository realizes in gates; the full cipher is provided so examples and
+// tests can exercise the real add-round-key + S-box round-1 datapath the
+// paper simulates, and to validate the S-box tables against official test
+// vectors.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace lpa {
+
+/// The PRESENT 4-bit S-box (C56B90AD3EF84712) and its inverse.
+extern const std::array<std::uint8_t, 16> kPresentSbox;
+extern const std::array<std::uint8_t, 16> kPresentSboxInv;
+
+/// The bit permutation layer: output bit position of input bit i.
+std::uint8_t presentPLayerBit(std::uint8_t i);
+
+/// Key sizes supported by the cipher.
+enum class PresentKeySize { K80, K128 };
+
+class Present {
+ public:
+  /// `key` holds the key bytes most-significant first: 10 bytes for K80,
+  /// 16 bytes for K128.
+  Present(PresentKeySize size, const std::vector<std::uint8_t>& key);
+
+  std::uint64_t encrypt(std::uint64_t plaintext) const;
+  std::uint64_t decrypt(std::uint64_t ciphertext) const;
+
+  /// Round keys (32 entries: one per round plus the whitening key).
+  const std::vector<std::uint64_t>& roundKeys() const { return roundKeys_; }
+
+  /// The intermediate value after round-1 add-round-key and S-box layer —
+  /// the exact datapath slice the paper's traces capture.
+  std::uint64_t round1AfterSbox(std::uint64_t plaintext) const;
+
+  static std::uint64_t sBoxLayer(std::uint64_t state);
+  static std::uint64_t sBoxLayerInv(std::uint64_t state);
+  static std::uint64_t pLayer(std::uint64_t state);
+  static std::uint64_t pLayerInv(std::uint64_t state);
+
+ private:
+  void scheduleK80(const std::vector<std::uint8_t>& key);
+  void scheduleK128(const std::vector<std::uint8_t>& key);
+  std::vector<std::uint64_t> roundKeys_;
+};
+
+}  // namespace lpa

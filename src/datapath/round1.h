@@ -1,0 +1,53 @@
+#pragma once
+// The circuit the paper actually simulates (Section V.A): the first-round
+// PRESENT datapath -- add-round-key followed by the S-box layer -- built 64
+// bits wide from 16 S-box instances of a chosen implementation style.
+//
+// The key is applied on the masked data share (XOR commutes with Boolean
+// masking), so the masking convention of each style is preserved end to
+// end. The permutation layer is pure wiring in hardware (zero gates, zero
+// switched capacitance), so it is applied in software by decode(); the
+// netlist ends at the S-box layer outputs like the paper's traces do.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sboxes/masked_sbox.h"
+
+namespace lpa {
+
+class Round1Datapath {
+ public:
+  explicit Round1Datapath(SboxStyle style);
+
+  SboxStyle style() const { return style_; }
+  const Netlist& netlist() const { return nl_; }
+
+  /// Fresh random bits consumed per evaluation (16 nibbles' worth).
+  int randomBits() const;
+
+  /// Primary-input assignment for a 64-bit plaintext and 64-bit round key.
+  std::vector<std::uint8_t> encode(std::uint64_t plain, std::uint64_t key,
+                                   Prng& rng) const;
+
+  /// Unmasked 64-bit round-1 output (after S-box layer and pLayer) from the
+  /// primary outputs and inputs of one evaluation.
+  std::uint64_t decode(const std::vector<std::uint8_t>& outputs,
+                       const std::vector<std::uint8_t>& inputs) const;
+
+  /// Software reference: pLayer(sBoxLayer(plain ^ key)).
+  static std::uint64_t reference(std::uint64_t plain, std::uint64_t key);
+
+ private:
+  SboxStyle style_;
+  Netlist nl_;
+  std::unique_ptr<MaskedSbox> proto_;     ///< masking conventions
+  std::size_t sboxInputWidth_ = 0;        ///< PIs per S-box instance
+  std::size_t sboxOutputWidth_ = 0;       ///< POs per S-box instance
+  std::size_t dataOffset_ = 0;            ///< offset of the keyed nibble
+};
+
+}  // namespace lpa

@@ -1,0 +1,94 @@
+#include "netlist/builder.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+NetId NetlistBuilder::reduceTree(GateType type, std::vector<NetId> ins,
+                                 int maxFanin) {
+  if (ins.empty()) throw std::invalid_argument("empty gate input list");
+  if (maxFanin < 2 || maxFanin > kMaxFanin) {
+    throw std::invalid_argument("maxFanin out of range");
+  }
+  if (ins.size() == 1) return ins[0];
+  while (ins.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve((ins.size() + static_cast<std::size_t>(maxFanin) - 1) /
+                 static_cast<std::size_t>(maxFanin));
+    std::size_t i = 0;
+    while (i < ins.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(static_cast<std::size_t>(maxFanin),
+                                ins.size() - i);
+      if (take == 1) {
+        next.push_back(ins[i]);
+        ++i;
+        continue;
+      }
+      std::vector<NetId> group(ins.begin() + static_cast<std::ptrdiff_t>(i),
+                               ins.begin() + static_cast<std::ptrdiff_t>(i) +
+                                   static_cast<std::ptrdiff_t>(take));
+      next.push_back(nl_.addGate(type, group));
+      i += take;
+    }
+    ins = std::move(next);
+  }
+  return ins[0];
+}
+
+NetId NetlistBuilder::andGate(std::vector<NetId> ins, int maxFanin) {
+  return reduceTree(GateType::And, std::move(ins), maxFanin);
+}
+
+NetId NetlistBuilder::orGate(std::vector<NetId> ins, int maxFanin) {
+  return reduceTree(GateType::Or, std::move(ins), maxFanin);
+}
+
+NetId NetlistBuilder::nandGate(std::vector<NetId> ins) {
+  if (ins.size() < 2 || ins.size() > kMaxFanin) {
+    throw std::invalid_argument("NAND supports 2-4 direct inputs");
+  }
+  return nl_.addGate(GateType::Nand, ins);
+}
+
+NetId NetlistBuilder::norGate(std::vector<NetId> ins) {
+  if (ins.size() < 2 || ins.size() > kMaxFanin) {
+    throw std::invalid_argument("NOR supports 2-4 direct inputs");
+  }
+  return nl_.addGate(GateType::Nor, ins);
+}
+
+NetId NetlistBuilder::xorTree(const std::vector<NetId>& ins) {
+  if (ins.empty()) throw std::invalid_argument("empty XOR tree");
+  std::vector<NetId> level = ins;
+  while (level.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(level.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(xorGate(level[i], level[i + 1]));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+NetId NetlistBuilder::xorAoi(NetId a, NetId b, NetId aBar, NetId bBar) {
+  if (aBar == kInvalidNet) aBar = inv(a);
+  if (bBar == kInvalidNet) bBar = inv(b);
+  const NetId t0 = andGate({a, bBar});
+  const NetId t1 = andGate({aBar, b});
+  return orGate({t0, t1});
+}
+
+NetId NetlistBuilder::invChain(NetId a, int count, bool allowOdd) {
+  if (count < 0) throw std::invalid_argument("negative chain length");
+  if (!allowOdd && (count % 2) != 0) {
+    throw std::invalid_argument("inverter chain would flip polarity");
+  }
+  NetId cur = a;
+  for (int i = 0; i < count; ++i) cur = inv(cur);
+  return cur;
+}
+
+}  // namespace lpa

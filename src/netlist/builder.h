@@ -1,0 +1,64 @@
+#pragma once
+// Ergonomic construction helpers on top of Netlist.
+//
+// The builder offers variadic gate constructors, automatic tree decomposition
+// of wide AND/OR/XOR reductions into 2-4-input library cells, and small
+// composite cells (XOR built from AND/OR/INV for AOI-only netlists).
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+class NetlistBuilder {
+ public:
+  NetlistBuilder() = default;
+
+  NetId input(std::string name) { return nl_.addInput(std::move(name)); }
+  void output(NetId net, std::string name) {
+    nl_.markOutput(net, std::move(name));
+  }
+
+  NetId const0() { return nl_.addGate(GateType::Const0, {}); }
+  NetId const1() { return nl_.addGate(GateType::Const1, {}); }
+
+  NetId inv(NetId a) { return nl_.addGate(GateType::Inv, {a}); }
+  NetId buf(NetId a) { return nl_.addGate(GateType::Buf, {a}); }
+  NetId xorGate(NetId a, NetId b) { return nl_.addGate(GateType::Xor, {a, b}); }
+  NetId xnorGate(NetId a, NetId b) {
+    return nl_.addGate(GateType::Xnor, {a, b});
+  }
+
+  /// 2-4 input gates; wider argument lists are decomposed into balanced
+  /// trees of cells with at most `maxFanin` inputs (default: library max).
+  NetId andGate(std::vector<NetId> ins, int maxFanin = kMaxFanin);
+  NetId orGate(std::vector<NetId> ins, int maxFanin = kMaxFanin);
+  NetId nandGate(std::vector<NetId> ins);
+  NetId norGate(std::vector<NetId> ins);
+
+  /// XOR reduction of arbitrarily many nets as a tree of XOR2 cells.
+  NetId xorTree(const std::vector<NetId>& ins);
+
+  /// XOR implemented with AND/OR/INV only: (a AND NOT b) OR (NOT a AND b).
+  /// Used by table-based masked netlists, which the paper synthesizes without
+  /// XOR cells. If complements are already available pass them to avoid
+  /// duplicate inverters.
+  NetId xorAoi(NetId a, NetId b, NetId aBar = kInvalidNet,
+               NetId bBar = kInvalidNet);
+
+  /// A chain of `count` inverters starting at `a` (delay line). `count` must
+  /// be even to preserve polarity unless `allowOdd`.
+  NetId invChain(NetId a, int count, bool allowOdd = false);
+
+  Netlist take() { return std::move(nl_); }
+  const Netlist& peek() const { return nl_; }
+
+ private:
+  NetId reduceTree(GateType type, std::vector<NetId> ins, int maxFanin);
+  Netlist nl_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,49 @@
+#include "netlist/compose.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+std::vector<NetId> appendInstance(Netlist& parent, const Netlist& instance,
+                                  const std::vector<NetId>& inputBindings) {
+  if (inputBindings.size() != instance.inputs().size()) {
+    throw std::invalid_argument("instance input binding count mismatch");
+  }
+  for (NetId net : inputBindings) {
+    if (net >= parent.numGates()) {
+      throw std::invalid_argument("binding references missing parent net");
+    }
+  }
+
+  std::vector<NetId> remap(instance.numGates(), kInvalidNet);
+  for (std::size_t i = 0; i < instance.inputs().size(); ++i) {
+    remap[instance.inputs()[i]] = inputBindings[i];
+  }
+
+  for (NetId id = 0; id < instance.numGates(); ++id) {
+    const Gate& g = instance.gate(id);
+    if (g.type == GateType::Input) continue;  // bound above
+    std::vector<NetId> fanins;
+    fanins.reserve(g.numFanin);
+    for (int i = 0; i < g.numFanin; ++i) {
+      const NetId mapped = remap[g.fanin[static_cast<std::size_t>(i)]];
+      if (mapped == kInvalidNet) {
+        throw std::logic_error("instance fanin not yet mapped");
+      }
+      fanins.push_back(mapped);
+    }
+    remap[id] = parent.addGate(g.type, fanins);
+  }
+
+  std::vector<NetId> outs;
+  outs.reserve(instance.outputs().size());
+  for (NetId out : instance.outputs()) {
+    if (remap[out] == kInvalidNet) {
+      throw std::logic_error("instance output not mapped");
+    }
+    outs.push_back(remap[out]);
+  }
+  return outs;
+}
+
+}  // namespace lpa

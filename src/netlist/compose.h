@@ -1,0 +1,20 @@
+#pragma once
+// Hierarchical composition: stitch a sub-netlist into a parent netlist as
+// an instance (flattening). Used to assemble the 64-bit PRESENT round-1
+// datapath out of 16 S-box instances.
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+/// Copies every gate of `instance` into `parent`, binding the instance's
+/// primary inputs (in inputs() order) to the parent nets `inputBindings`.
+/// Returns the parent nets corresponding to the instance's primary outputs
+/// (in outputs() order). The instance's own input/output *names* are not
+/// imported; the caller decides what to expose.
+std::vector<NetId> appendInstance(Netlist& parent, const Netlist& instance,
+                                  const std::vector<NetId>& inputBindings);
+
+}  // namespace lpa

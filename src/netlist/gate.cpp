@@ -1,0 +1,123 @@
+#include "netlist/gate.h"
+
+namespace lpa {
+
+std::string_view gateTypeName(GateType t) {
+  switch (t) {
+    case GateType::Input:
+      return "INPUT";
+    case GateType::Const0:
+      return "CONST0";
+    case GateType::Const1:
+      return "CONST1";
+    case GateType::Buf:
+      return "BUF";
+    case GateType::Inv:
+      return "INV";
+    case GateType::And:
+      return "AND";
+    case GateType::Or:
+      return "OR";
+    case GateType::Nand:
+      return "NAND";
+    case GateType::Nor:
+      return "NOR";
+    case GateType::Xor:
+      return "XOR";
+    case GateType::Xnor:
+      return "XNOR";
+  }
+  return "?";
+}
+
+bool isSourceGate(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 ||
+         t == GateType::Const1;
+}
+
+FaninRange gateFaninRange(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return {0, 0};
+    case GateType::Buf:
+    case GateType::Inv:
+      return {1, 1};
+    case GateType::And:
+    case GateType::Or:
+    case GateType::Nand:
+    case GateType::Nor:
+      return {2, kMaxFanin};
+    case GateType::Xor:
+    case GateType::Xnor:
+      return {2, 2};
+  }
+  return {0, 0};
+}
+
+double gateEquivalents(GateType t, int fanin) {
+  // GE figures follow the NAND2-normalized areas customary for the NANGATE
+  // 45nm open cell library (NAND2 == 1.0 GE).
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0.0;
+    case GateType::Buf:
+      return 1.0;
+    case GateType::Inv:
+      return 0.5;
+    case GateType::Nand:
+      return fanin <= 2 ? 1.0 : (fanin == 3 ? 1.5 : 2.0);
+    case GateType::Nor:
+      return fanin <= 2 ? 1.0 : (fanin == 3 ? 1.5 : 2.0);
+    case GateType::And:
+      return fanin <= 2 ? 1.5 : (fanin == 3 ? 2.0 : 2.5);
+    case GateType::Or:
+      return fanin <= 2 ? 1.5 : (fanin == 3 ? 2.0 : 2.5);
+    case GateType::Xor:
+      return 2.5;
+    case GateType::Xnor:
+      return 2.5;
+  }
+  return 0.0;
+}
+
+std::uint8_t evalGate(const Gate& gate,
+                      const std::array<std::uint8_t, kMaxFanin>& vals) {
+  const int n = gate.numFanin;
+  switch (gate.type) {
+    case GateType::Const0:
+      return 0;
+    case GateType::Const1:
+      return 1;
+    case GateType::Buf:
+      return vals[0];
+    case GateType::Inv:
+      return static_cast<std::uint8_t>(vals[0] ^ 1u);
+    case GateType::And:
+    case GateType::Nand: {
+      std::uint8_t acc = 1;
+      for (int i = 0; i < n; ++i) acc &= vals[i];
+      return gate.type == GateType::Nand ? static_cast<std::uint8_t>(acc ^ 1u)
+                                         : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      std::uint8_t acc = 0;
+      for (int i = 0; i < n; ++i) acc |= vals[i];
+      return gate.type == GateType::Nor ? static_cast<std::uint8_t>(acc ^ 1u)
+                                        : acc;
+    }
+    case GateType::Xor:
+      return static_cast<std::uint8_t>(vals[0] ^ vals[1]);
+    case GateType::Xnor:
+      return static_cast<std::uint8_t>(vals[0] ^ vals[1] ^ 1u);
+    case GateType::Input:
+      break;
+  }
+  return 0;
+}
+
+}  // namespace lpa

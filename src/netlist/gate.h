@@ -1,0 +1,68 @@
+#pragma once
+// Gate-level primitives for combinational netlists.
+//
+// The cell library mirrors the subset of the NANGATE 45nm open cell library
+// used by the paper's Table I: 2-4 input AND/OR/NAND/NOR, 2-input XOR/XNOR,
+// INV and BUF, plus pseudo-gates for primary inputs and constants.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace lpa {
+
+/// Index of a net. Every gate drives exactly one net, so gates and nets share
+/// an index space: net k is the output of gate k.
+using NetId = std::uint32_t;
+
+inline constexpr NetId kInvalidNet = 0xFFFFFFFFu;
+
+/// Maximum fanin of any library cell (Table I counts gates "with 2-4 inputs").
+inline constexpr int kMaxFanin = 4;
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input (no fanin)
+  Const0,  ///< constant logic 0
+  Const1,  ///< constant logic 1
+  Buf,     ///< buffer (1 fanin)
+  Inv,     ///< inverter (1 fanin)
+  And,     ///< 2-4 input AND
+  Or,      ///< 2-4 input OR
+  Nand,    ///< 2-4 input NAND
+  Nor,     ///< 2-4 input NOR
+  Xor,     ///< 2-input XOR
+  Xnor,    ///< 2-input XNOR
+};
+
+/// Human-readable cell name ("AND", "NOR", ...).
+std::string_view gateTypeName(GateType t);
+
+/// True for Input/Const0/Const1 (cells with no fanin and no area).
+bool isSourceGate(GateType t);
+
+/// Number of fanins a gate type admits: {min, max}.
+struct FaninRange {
+  int min;
+  int max;
+};
+FaninRange gateFaninRange(GateType t);
+
+/// NAND2-equivalent area of a cell with the given fanin count, following the
+/// usual gate-equivalent (GE) convention for the NANGATE 45nm library.
+double gateEquivalents(GateType t, int fanin);
+
+/// A single combinational gate. Fanins reference other gates' output nets.
+struct Gate {
+  GateType type = GateType::Input;
+  std::uint8_t numFanin = 0;
+  std::array<NetId, kMaxFanin> fanin{kInvalidNet, kInvalidNet, kInvalidNet,
+                                     kInvalidNet};
+};
+
+/// Evaluate a gate's boolean function over its input values (0/1).
+/// `vals[i]` is the value of fanin i; only the first `gate.numFanin` entries
+/// are read. Source gates must not be passed here (inputs have no function).
+std::uint8_t evalGate(const Gate& gate,
+                      const std::array<std::uint8_t, kMaxFanin>& vals);
+
+}  // namespace lpa

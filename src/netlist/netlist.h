@@ -1,0 +1,78 @@
+#pragma once
+// Combinational netlist container.
+//
+// Gates are stored in creation order, which is required to be topological
+// (fanins always precede the gate). Every gate drives exactly one net and the
+// gate index doubles as the net index, so lookups are O(1) and the structure
+// is trivially serializable.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace lpa {
+
+class Netlist {
+ public:
+  /// Adds a gate; fanins must reference existing gates. Returns the new
+  /// gate's output net. Throws std::invalid_argument on malformed gates.
+  NetId addGate(GateType type, const std::vector<NetId>& fanins);
+
+  /// Adds a named primary input.
+  NetId addInput(std::string name);
+
+  /// Marks an existing net as a primary output under `name`.
+  void markOutput(NetId net, std::string name);
+
+  std::size_t numGates() const { return gates_.size(); }
+  const Gate& gate(NetId id) const { return gates_[id]; }
+  const std::vector<Gate>& gates() const { return gates_; }
+
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::string& inputName(std::size_t i) const { return inputNames_[i]; }
+  const std::string& outputName(std::size_t i) const {
+    return outputNames_[i];
+  }
+
+  /// Net driven by the primary input called `name`; throws if unknown.
+  NetId inputByName(const std::string& name) const;
+  /// Net marked as the primary output called `name`; throws if unknown.
+  NetId outputByName(const std::string& name) const;
+
+  /// Fanout count of each net (number of gate fanins referencing it).
+  /// Computed lazily and cached; invalidated by addGate.
+  const std::vector<std::uint32_t>& fanoutCounts() const;
+
+  /// Zero-delay functional evaluation: assigns `inputValues` (same order as
+  /// inputs()) and returns the value of every net. Values are 0/1.
+  std::vector<std::uint8_t> evaluate(
+      const std::vector<std::uint8_t>& inputValues) const;
+
+  /// Convenience: evaluate and gather the primary-output values in
+  /// outputs() order.
+  std::vector<std::uint8_t> evaluateOutputs(
+      const std::vector<std::uint8_t>& inputValues) const;
+
+  /// Logic depth of each net: 0 for sources, 1 + max(fanin depth) otherwise.
+  /// INV/BUF count as levels too (Table I counts them on the critical path).
+  std::vector<std::uint32_t> depths() const;
+
+  /// Depth of the deepest primary output (the paper's "Delay" row).
+  std::uint32_t criticalPathDepth() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<std::string> inputNames_;
+  std::vector<NetId> outputs_;
+  std::vector<std::string> outputNames_;
+  std::unordered_map<std::string, NetId> inputIndex_;
+  std::unordered_map<std::string, NetId> outputIndex_;
+  mutable std::vector<std::uint32_t> fanoutCache_;
+};
+
+}  // namespace lpa

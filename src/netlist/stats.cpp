@@ -1,0 +1,91 @@
+#include "netlist/stats.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace lpa {
+
+NetlistStats computeStats(const Netlist& nl) {
+  NetlistStats s;
+  for (const Gate& g : nl.gates()) {
+    if (g.type == GateType::Input) {
+      ++s.numInputs;
+      continue;
+    }
+    if (isSourceGate(g.type)) continue;
+    ++s.countByType[g.type];
+    ++s.totalGates;
+    s.equivalentGates += gateEquivalents(g.type, g.numFanin);
+  }
+  s.delayLevels = nl.criticalPathDepth();
+  s.numOutputs = static_cast<std::uint32_t>(nl.outputs().size());
+  return s;
+}
+
+std::string formatStats(const std::string& name, const NetlistStats& s) {
+  char buf[256];
+  std::string out = name + ":\n";
+  static const GateType kOrder[] = {GateType::And,  GateType::Or,
+                                    GateType::Xor,  GateType::Inv,
+                                    GateType::Buf,  GateType::Nand,
+                                    GateType::Nor,  GateType::Xnor};
+  for (GateType t : kOrder) {
+    std::snprintf(buf, sizeof(buf), "  # %-5s %u\n",
+                  std::string(gateTypeName(t)).c_str(), s.count(t));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "  Total Gates %u | Equ. Gates %.1f | Delay %u\n",
+                s.totalGates, s.equivalentGates, s.delayLevels);
+  out += buf;
+  return out;
+}
+
+std::string formatStatsTable(
+    const std::vector<std::pair<std::string, NetlistStats>>& columns) {
+  static const GateType kOrder[] = {GateType::And,  GateType::Or,
+                                    GateType::Xor,  GateType::Inv,
+                                    GateType::Buf,  GateType::Nand,
+                                    GateType::Nor,  GateType::Xnor};
+  char buf[64];
+  std::string out = "Row          ";
+  for (const auto& [name, st] : columns) {
+    (void)st;
+    std::snprintf(buf, sizeof(buf), "%12s", name.c_str());
+    out += buf;
+  }
+  out += '\n';
+  for (GateType t : kOrder) {
+    std::snprintf(buf, sizeof(buf), "# %-10s ",
+                  std::string(gateTypeName(t)).c_str());
+    out += buf;
+    for (const auto& [name, st] : columns) {
+      (void)name;
+      std::snprintf(buf, sizeof(buf), "%12u", st.count(t));
+      out += buf;
+    }
+    out += '\n';
+  }
+  out += "Total Gates  ";
+  for (const auto& [name, st] : columns) {
+    (void)name;
+    std::snprintf(buf, sizeof(buf), "%12u", st.totalGates);
+    out += buf;
+  }
+  out += "\nTotal Equ.   ";
+  for (const auto& [name, st] : columns) {
+    (void)name;
+    std::snprintf(buf, sizeof(buf), "%12.1f", st.equivalentGates);
+    out += buf;
+  }
+  out += "\nDelay        ";
+  for (const auto& [name, st] : columns) {
+    (void)name;
+    std::snprintf(buf, sizeof(buf), "%12u", st.delayLevels);
+    out += buf;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace lpa

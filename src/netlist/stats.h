@@ -1,0 +1,37 @@
+#pragma once
+// Netlist statistics in the shape of the paper's Table I.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+/// Gate-level specification of a netlist, matching the rows of Table I:
+/// per-type gate counts, total gates, NAND2-equivalent area, and logic depth.
+struct NetlistStats {
+  std::map<GateType, std::uint32_t> countByType;
+  std::uint32_t totalGates = 0;        ///< excluding inputs/constants
+  double equivalentGates = 0.0;        ///< GE (NAND2-normalized area)
+  std::uint32_t delayLevels = 0;       ///< gates on the critical path
+  std::uint32_t numInputs = 0;
+  std::uint32_t numOutputs = 0;
+
+  std::uint32_t count(GateType t) const {
+    auto it = countByType.find(t);
+    return it == countByType.end() ? 0 : it->second;
+  }
+};
+
+NetlistStats computeStats(const Netlist& nl);
+
+/// One formatted row block (multi-line) in the style of Table I.
+std::string formatStats(const std::string& name, const NetlistStats& s);
+
+/// Formats a whole Table I: one column per named implementation.
+std::string formatStatsTable(
+    const std::vector<std::pair<std::string, NetlistStats>>& columns);
+
+}  // namespace lpa

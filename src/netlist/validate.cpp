@@ -1,0 +1,55 @@
+#include "netlist/validate.h"
+
+#include <unordered_set>
+
+namespace lpa {
+
+ValidationReport validate(const Netlist& nl) {
+  ValidationReport rep;
+  const std::size_t n = nl.numGates();
+  if (nl.inputs().empty()) rep.problems.push_back("netlist has no inputs");
+  if (nl.outputs().empty()) rep.problems.push_back("netlist has no outputs");
+
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    const FaninRange range = gateFaninRange(g.type);
+    if (g.numFanin < range.min || g.numFanin > range.max) {
+      rep.problems.push_back("gate " + std::to_string(id) +
+                             " has illegal fanin count");
+    }
+    for (int i = 0; i < g.numFanin; ++i) {
+      if (g.fanin[static_cast<std::size_t>(i)] >= id) {
+        rep.problems.push_back("gate " + std::to_string(id) +
+                               " breaks topological order");
+      }
+    }
+  }
+
+  for (NetId out : nl.outputs()) {
+    if (out >= n) rep.problems.push_back("output references missing net");
+  }
+
+  // Reachability from outputs: dead logic is allowed (delay lines can be
+  // observers) but fully disconnected inputs indicate construction bugs.
+  std::vector<char> reach(n, 0);
+  std::vector<NetId> stack(nl.outputs().begin(), nl.outputs().end());
+  while (!stack.empty()) {
+    const NetId id = stack.back();
+    stack.pop_back();
+    if (reach[id]) continue;
+    reach[id] = 1;
+    const Gate& g = nl.gate(id);
+    for (int i = 0; i < g.numFanin; ++i) {
+      stack.push_back(g.fanin[static_cast<std::size_t>(i)]);
+    }
+  }
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    if (!reach[nl.inputs()[i]]) {
+      rep.problems.push_back("primary input '" + nl.inputName(i) +
+                             "' does not reach any output");
+    }
+  }
+  return rep;
+}
+
+}  // namespace lpa

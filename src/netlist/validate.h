@@ -1,0 +1,26 @@
+#pragma once
+// Structural well-formedness checks for netlists.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+/// Result of validating a netlist; empty `problems` means valid.
+struct ValidationReport {
+  std::vector<std::string> problems;
+  bool ok() const { return problems.empty(); }
+};
+
+/// Checks:
+///  - every fanin precedes its gate (topological order / acyclic),
+///  - fanin counts are legal for the gate type,
+///  - at least one primary input and output,
+///  - outputs reference existing nets,
+///  - no floating gates (every non-output gate has at least one fanout),
+///    reported as a warning-style problem since delay chains may end unused.
+ValidationReport validate(const Netlist& nl);
+
+}  // namespace lpa

@@ -1,0 +1,18 @@
+#pragma once
+// Structural Verilog export of a netlist (gate-level primitives), so the
+// committed implementations can be inspected, re-simulated or re-synthesized
+// with standard EDA tooling.
+
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+/// Emits `nl` as a self-contained structural Verilog module built from
+/// Verilog gate primitives (and/or/nand/nor/xor/xnor/not/buf) plus assigns
+/// for constants. Net w<k> corresponds to NetId k; primary inputs/outputs
+/// use their registered names (sanitized to [A-Za-z0-9_]).
+std::string toVerilog(const Netlist& nl, const std::string& moduleName);
+
+}  // namespace lpa

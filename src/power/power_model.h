@@ -1,0 +1,58 @@
+#pragma once
+// Switching-power model: turns a timed transition list into a sampled power
+// trace, emulating what the paper measures from HSpice.
+//
+// Every committed output transition of gate g at time t draws a charge
+// proportional to the switched load capacitance C(g) (gate intrinsic cap +
+// fanout input caps). The resulting supply-current pulse is modeled as a
+// triangular kernel of fixed width centred at t and integrated onto a
+// uniform sample grid (the paper: 100 samples over 2 ns = 50 GS/s).
+// Device aging scales each gate's pulse amplitude by its drive-current
+// degradation factor (alpha-power law on the aged threshold voltage).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/waveform.h"
+
+namespace lpa {
+
+struct PowerOptions {
+  double samplePeriodPs = 20.0;   ///< 50 GS/s
+  std::uint32_t numSamples = 100; ///< 2 ns window
+  double pulseWidthPs = 30.0;     ///< full width of the triangular pulse
+  double inputCapFf = 1.2;        ///< input pin capacitance (fF), per fanout
+  double outputLoadFf = 12.0;      ///< load on primary outputs (the round
+                                  ///< register / next layer the S-box drives)
+  double noiseSigma = 0.0;        ///< additive Gaussian noise per sample
+};
+
+/// Intrinsic switched capacitance of a cell (fF), NANGATE-45nm-flavoured.
+double intrinsicCapFf(GateType t, int fanin);
+
+class PowerModel {
+ public:
+  PowerModel(const Netlist& nl, const PowerOptions& opts = {});
+
+  /// Per-gate aging amplitude factors in (0, 1]; 1 = fresh.
+  void setAgingFactors(const std::vector<double>& amplitudeScale);
+  void clearAging();
+
+  /// Integrates the transitions into a power trace of numSamples samples.
+  /// Units are arbitrary but consistent across implementations and ages.
+  /// If `noiseSeed` differs from 0 and noiseSigma > 0, Gaussian noise is
+  /// added (deterministic per seed).
+  std::vector<double> sample(const std::vector<Transition>& transitions,
+                             std::uint64_t noiseSeed = 0) const;
+
+  const PowerOptions& options() const { return opts_; }
+  double switchedCapFf(NetId gate) const { return capFf_[gate]; }
+
+ private:
+  PowerOptions opts_;
+  std::vector<double> capFf_;
+  std::vector<double> agingScale_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,24 @@
+#include "sboxes/encoding.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+void appendNibbleBits(std::vector<std::uint8_t>& out, std::uint8_t nibble) {
+  for (int b = 0; b < 4; ++b) {
+    out.push_back(static_cast<std::uint8_t>((nibble >> b) & 1u));
+  }
+}
+
+std::uint8_t readNibbleBits(const std::vector<std::uint8_t>& bits,
+                            std::size_t offset) {
+  if (offset + 4 > bits.size()) throw std::out_of_range("nibble offset");
+  std::uint8_t v = 0;
+  for (int b = 0; b < 4; ++b) {
+    v |= static_cast<std::uint8_t>((bits[offset + static_cast<std::size_t>(b)] & 1u)
+                                   << b);
+  }
+  return v;
+}
+
+}  // namespace lpa

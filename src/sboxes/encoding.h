@@ -1,0 +1,16 @@
+#pragma once
+// Helpers for packing nibbles into per-bit primary-input assignments.
+
+#include <cstdint>
+#include <vector>
+
+namespace lpa {
+
+/// Appends the 4 bits of `nibble` (LSB first) to `out`.
+void appendNibbleBits(std::vector<std::uint8_t>& out, std::uint8_t nibble);
+
+/// Reads 4 bits starting at `offset` (LSB first) as a nibble.
+std::uint8_t readNibbleBits(const std::vector<std::uint8_t>& bits,
+                            std::size_t offset);
+
+}  // namespace lpa

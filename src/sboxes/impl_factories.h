@@ -1,0 +1,18 @@
+#pragma once
+// Internal: per-style factory functions (defined in the *_sbox.cpp files).
+
+#include <memory>
+
+#include "sboxes/masked_sbox.h"
+
+namespace lpa::detail {
+
+std::unique_ptr<MaskedSbox> makeLutSbox();
+std::unique_ptr<MaskedSbox> makeOptSbox();
+std::unique_ptr<MaskedSbox> makeGlutSbox();
+std::unique_ptr<MaskedSbox> makeRsmSbox();
+std::unique_ptr<MaskedSbox> makeRsmRomSbox();
+std::unique_ptr<MaskedSbox> makeIswSbox();
+std::unique_ptr<MaskedSbox> makeTiSbox();
+
+}  // namespace lpa::detail

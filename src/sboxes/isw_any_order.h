@@ -1,0 +1,30 @@
+#pragma once
+// Higher-order ISW: the generic d-th order Ishai-Sahai-Wagner private
+// circuit over the OPT netlist, for any number of shares n = d + 1.
+//
+// The paper evaluates d = 1 (its "ISW" column) and notes that circuits
+// protected against d-th order attacks may still fall to (d+1)-th order
+// ones; this module provides the construction for arbitrary d so that the
+// leakage-vs-order trade-off can be measured with the same pipeline
+// (see examples/masking_comparison and tests).
+//
+// Multiplication gadget (ISW 2003), n shares, n(n-1)/2 fresh random bits:
+//   z_ij = r_ij                                  (i < j)
+//   z_ji = (r_ij ^ a_i b_j) ^ a_j b_i            (i < j, order matters)
+//   y_i  = a_i b_i ^ XOR_{j != i} z_ij
+
+#include <memory>
+
+#include "sboxes/masked_sbox.h"
+
+namespace lpa {
+
+/// Builds a d-th order ISW PRESENT S-box (d >= 1). d == 1 is structurally
+/// identical to makeSbox(SboxStyle::Isw). Reported style() is SboxStyle::Isw.
+std::unique_ptr<MaskedSbox> makeIswSboxOfOrder(int order);
+
+/// Fresh random bits the construction consumes per evaluation:
+/// (#nonlinear gates = 4) * d(d+1)/2 gadget bits.
+int iswGadgetRandomBits(int order);
+
+}  // namespace lpa

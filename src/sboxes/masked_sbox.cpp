@@ -1,0 +1,56 @@
+#include "sboxes/masked_sbox.h"
+
+#include <stdexcept>
+
+#include "sboxes/impl_factories.h"
+
+namespace lpa {
+
+const std::vector<SboxStyle>& allSboxStyles() {
+  static const std::vector<SboxStyle> kStyles = {
+      SboxStyle::Lut, SboxStyle::Opt,    SboxStyle::Glut, SboxStyle::Rsm,
+      SboxStyle::RsmRom, SboxStyle::Isw, SboxStyle::Ti};
+  return kStyles;
+}
+
+std::string_view sboxStyleName(SboxStyle s) {
+  switch (s) {
+    case SboxStyle::Lut:
+      return "Unprotected";
+    case SboxStyle::Opt:
+      return "Unprotected-OPT";
+    case SboxStyle::Glut:
+      return "GLUT";
+    case SboxStyle::Rsm:
+      return "RSM";
+    case SboxStyle::RsmRom:
+      return "RSM-ROM";
+    case SboxStyle::Isw:
+      return "ISW";
+    case SboxStyle::Ti:
+      return "TI";
+  }
+  return "?";
+}
+
+std::unique_ptr<MaskedSbox> makeSbox(SboxStyle style) {
+  switch (style) {
+    case SboxStyle::Lut:
+      return detail::makeLutSbox();
+    case SboxStyle::Opt:
+      return detail::makeOptSbox();
+    case SboxStyle::Glut:
+      return detail::makeGlutSbox();
+    case SboxStyle::Rsm:
+      return detail::makeRsmSbox();
+    case SboxStyle::RsmRom:
+      return detail::makeRsmRomSbox();
+    case SboxStyle::Isw:
+      return detail::makeIswSbox();
+    case SboxStyle::Ti:
+      return detail::makeTiSbox();
+  }
+  throw std::invalid_argument("unknown S-box style");
+}
+
+}  // namespace lpa

@@ -1,0 +1,69 @@
+#pragma once
+// Common interface for the seven PRESENT S-box implementations the paper
+// compares, plus the registry that instantiates them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "trace/prng.h"
+
+namespace lpa {
+
+/// The implementation styles of Section IV of the paper.
+enum class SboxStyle {
+  Lut,     ///< unprotected lookup-table-style two-level logic
+  Opt,     ///< unprotected gate-count-optimized netlist (14 gates)
+  Glut,    ///< global lookup table masking, 12-bit input (A, MI, MO)
+  Rsm,     ///< rotating S-box masking, MO = MI + 1 mod 16
+  RsmRom,  ///< ROM-style RSM: one-hot NOR planes + synchronizing delay lines
+  Isw,     ///< Ishai-Sahai-Wagner private circuit over the OPT netlist
+  Ti,      ///< 4-share threshold implementation (direct sharing, d = 3)
+};
+
+/// All styles, in the paper's Table I column order.
+const std::vector<SboxStyle>& allSboxStyles();
+
+/// Paper-style display name ("Unprotected", "GLUT", ...).
+std::string_view sboxStyleName(SboxStyle s);
+
+/// A gate-level S-box with its masking conventions.
+///
+/// `encode` maps a plain (unmasked) nibble to a full primary-input
+/// assignment using fresh randomness; `decode` recovers the unmasked output
+/// nibble from primary-output values (using input values where the masks are
+/// needed, e.g. GLUT's MO). The invariant every implementation satisfies:
+///
+///   decode(netlist.evaluateOutputs(encode(x, rng)), encode(x, rng)) ==
+///   PRESENT_SBOX[x]                      for every x and every randomness.
+class MaskedSbox {
+ public:
+  virtual ~MaskedSbox() = default;
+
+  virtual SboxStyle style() const = 0;
+  std::string_view name() const { return sboxStyleName(style()); }
+
+  const Netlist& netlist() const { return nl_; }
+
+  /// Fresh random bits consumed per evaluation (Table I convention: masks
+  /// and gadget randomness that enter the netlist as primary inputs).
+  virtual int randomBits() const = 0;
+
+  /// Primary-input assignment (inputs() order) encoding `plain`.
+  virtual std::vector<std::uint8_t> encode(std::uint8_t plain,
+                                           Prng& rng) const = 0;
+
+  /// Unmasked output nibble from primary-output values (outputs() order).
+  virtual std::uint8_t decode(const std::vector<std::uint8_t>& outputs,
+                              const std::vector<std::uint8_t>& inputs)
+      const = 0;
+
+ protected:
+  Netlist nl_;
+};
+
+/// Instantiates an implementation.
+std::unique_ptr<MaskedSbox> makeSbox(SboxStyle style);
+
+}  // namespace lpa

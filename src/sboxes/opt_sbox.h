@@ -1,0 +1,16 @@
+#pragma once
+// The gate-count-optimized PRESENT S-box straight-line program ("OPT").
+//
+// Found with this repository's stochastic SLP optimizer (src/synth/slp.h),
+// matching the paper's Table I profile exactly: 14 gates = 9 XOR + 2 AND +
+// 2 OR + 1 INV. Exposed so the ISW construction can gadget-transform it.
+
+#include "synth/slp.h"
+
+namespace lpa {
+
+/// The committed 14-gate OPT program (inputs x0..x3 LSB-first, outputs
+/// y0..y3). Exhaustively verified against kPresentSbox in the test suite.
+const Slp& optPresentSboxSlp();
+
+}  // namespace lpa

@@ -1,0 +1,68 @@
+#include "sim/delay_model.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace lpa {
+
+double baseDelayPs(GateType t, int fanin) {
+  const int extra = fanin > 2 ? fanin - 2 : 0;
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0.0;
+    case GateType::Buf:
+      return 10.0;
+    case GateType::Inv:
+      return 8.0;
+    case GateType::Nand:
+      return 10.0 + 2.0 * extra;
+    case GateType::Nor:
+      return 12.0 + 3.0 * extra;
+    case GateType::And:
+      return 14.0 + 2.0 * extra;
+    case GateType::Or:
+      return 14.0 + 3.0 * extra;
+    case GateType::Xor:
+      return 22.0;
+    case GateType::Xnor:
+      return 22.0;
+  }
+  return 0.0;
+}
+
+DelayModel::DelayModel(const Netlist& nl, const DelayOptions& opts) {
+  const std::vector<std::uint32_t>& fanout = nl.fanoutCounts();
+  std::mt19937_64 rng(opts.deviceSeed);
+  std::normal_distribution<double> jitter(1.0, opts.jitterSigma);
+  fresh_.resize(nl.numGates());
+  for (NetId id = 0; id < nl.numGates(); ++id) {
+    const Gate& g = nl.gate(id);
+    if (isSourceGate(g.type)) {
+      fresh_[id] = 0.0;
+      continue;
+    }
+    const double base = baseDelayPs(g.type, g.numFanin);
+    const double loadExtra =
+        fanout[id] > 1 ? opts.loadFactorPerFanout * (fanout[id] - 1) : 0.0;
+    double j = jitter(rng);
+    if (j < 0.5) j = 0.5;  // clamp pathological draws
+    fresh_[id] = base * (1.0 + loadExtra) * j;
+  }
+  delays_ = fresh_;
+}
+
+void DelayModel::setAgingFactors(const std::vector<double>& delayScale) {
+  if (delayScale.size() != fresh_.size()) {
+    throw std::invalid_argument("aging factor count mismatch");
+  }
+  delays_ = fresh_;
+  for (std::size_t i = 0; i < fresh_.size(); ++i) {
+    delays_[i] *= delayScale[i];
+  }
+}
+
+void DelayModel::clearAging() { delays_ = fresh_; }
+
+}  // namespace lpa

@@ -1,0 +1,47 @@
+#pragma once
+// Per-gate propagation delays.
+//
+// Delay of a gate instance = base(type, fanin) * (1 + loadFactor*(fanout-1))
+//                            * processJitter * agingScale.
+// Process jitter is a per-instance multiplicative factor drawn once per
+// device from N(1, sigma); it breaks arrival-time ties, which is what makes
+// combinational races (and hence glitches / ISW early evaluation) visible,
+// exactly as transistor-level simulation of a placed netlist would.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace lpa {
+
+struct DelayOptions {
+  double loadFactorPerFanout = 0.15;
+  double jitterSigma = 0.03;   ///< relative process-variation sigma
+  std::uint64_t deviceSeed = 0x5eedULL;  ///< identifies the device instance
+};
+
+/// Base (unloaded, fresh) delay in picoseconds of a cell.
+double baseDelayPs(GateType t, int fanin);
+
+class DelayModel {
+ public:
+  DelayModel(const Netlist& nl, const DelayOptions& opts = {});
+
+  /// Current delay of gate `id` in ps (includes load, jitter, aging).
+  double delayPs(NetId id) const { return delays_[id]; }
+  const std::vector<double>& delays() const { return delays_; }
+
+  /// Applies per-gate aging delay-degradation factors (>= 1), replacing any
+  /// previously applied aging (factors compose with the fresh baseline).
+  void setAgingFactors(const std::vector<double>& delayScale);
+
+  /// Resets to the fresh (unaged) device.
+  void clearAging();
+
+ private:
+  std::vector<double> fresh_;
+  std::vector<double> delays_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,156 @@
+#include "sim/event_sim.h"
+
+#include <queue>
+#include <stdexcept>
+
+namespace lpa {
+
+namespace {
+
+struct Event {
+  double time;
+  std::uint64_t seq;
+  NetId net;
+  std::uint8_t value;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+using EventQueue = std::priority_queue<Event, std::vector<Event>, EventLater>;
+
+}  // namespace
+
+EventSim::EventSim(const Netlist& nl, const DelayModel& delays, DelayKind kind)
+    : EventSim(nl, delays, SimOptions{kind, 2.0}) {}
+
+EventSim::EventSim(const Netlist& nl, const DelayModel& delays,
+                   const SimOptions& options)
+    : nl_(&nl), delays_(&delays), opts_(options) {
+  fanout_.resize(nl.numGates());
+  for (NetId id = 0; id < nl.numGates(); ++id) {
+    const Gate& g = nl.gate(id);
+    for (int i = 0; i < g.numFanin; ++i) {
+      fanout_[g.fanin[static_cast<std::size_t>(i)]].push_back(id);
+    }
+  }
+  state_.assign(nl.numGates(), 0);
+  pending_.assign(nl.numGates(), {});
+  lastCommitPs_.assign(nl.numGates(), -1e30);
+}
+
+void EventSim::settle(const std::vector<std::uint8_t>& inputValues) {
+  state_ = nl_->evaluate(inputValues);
+  for (Pending& p : pending_) p.active = false;
+}
+
+std::vector<std::uint8_t> EventSim::outputValues() const {
+  std::vector<std::uint8_t> out(nl_->outputs().size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = state_[nl_->outputs()[i]];
+  }
+  return out;
+}
+
+std::vector<Transition> EventSim::run(
+    const std::vector<std::uint8_t>& inputValues) {
+  const std::vector<NetId>& ins = nl_->inputs();
+  if (inputValues.size() != ins.size()) {
+    throw std::invalid_argument("wrong number of input values");
+  }
+
+  EventQueue queue;
+
+  // Evaluates `gateId` against committed fanin values and, depending on the
+  // delay model, schedules/updates/cancels its output event.
+  auto scheduleGate = [&](NetId gateId, double now) {
+    const Gate& g = nl_->gate(gateId);
+    if (isSourceGate(g.type)) return;
+    std::array<std::uint8_t, kMaxFanin> vals{};
+    for (int i = 0; i < g.numFanin; ++i) {
+      vals[static_cast<std::size_t>(i)] =
+          state_[g.fanin[static_cast<std::size_t>(i)]];
+    }
+    const std::uint8_t nv = evalGate(g, vals);
+    const double eta = now + delays_->delayPs(gateId);
+
+    if (opts_.kind == DelayKind::Transport) {
+      // Transport delay: every computed change is an independent in-flight
+      // wavefront; no-op events are filtered at commit time.
+      queue.push(Event{eta, ++seqCounter_, gateId, nv});
+      return;
+    }
+
+    // Inertial delay: at most one pending event per net.
+    Pending& p = pending_[gateId];
+    if (p.active) {
+      if (p.value == nv) return;  // keep the earlier event, same destination
+      if (nv == state_[gateId]) {
+        // Input pulse shorter than the gate delay: swallow the glitch.
+        p.active = false;
+        return;
+      }
+      p.time = eta;
+      p.value = nv;
+      p.seq = ++seqCounter_;
+      queue.push(Event{eta, p.seq, gateId, nv});
+      return;
+    }
+    if (nv != state_[gateId]) {
+      p.time = eta;
+      p.value = nv;
+      p.active = true;
+      p.seq = ++seqCounter_;
+      queue.push(Event{eta, p.seq, gateId, nv});
+    }
+  };
+
+  // Input changes are applied simultaneously at t = 0. They are committed
+  // directly (primary inputs have no driver gate and no inertia).
+  std::fill(lastCommitPs_.begin(), lastCommitPs_.end(), -1e30);
+  std::vector<Transition> log;
+  std::vector<NetId> changedInputs;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const std::uint8_t nv = inputValues[i] & 1u;
+    if (nv != state_[ins[i]]) {
+      state_[ins[i]] = nv;
+      lastCommitPs_[ins[i]] = 0.0;
+      log.push_back(Transition{0.0, ins[i], nv, 1.0});
+      changedInputs.push_back(ins[i]);
+    }
+  }
+  for (NetId net : changedInputs) {
+    for (NetId g : fanout_[net]) scheduleGate(g, 0.0);
+  }
+
+  while (!queue.empty()) {
+    const Event e = queue.top();
+    queue.pop();
+    if (opts_.kind == DelayKind::Inertial) {
+      Pending& p = pending_[e.net];
+      if (!p.active || p.seq != e.seq) continue;  // cancelled or superseded
+      p.active = false;
+    }
+    if (state_[e.net] == e.value) continue;  // no-op
+    state_[e.net] = e.value;
+    // Partial-swing weighting: an edge following the previous edge of the
+    // same net within the full-swing window carries proportionally less
+    // charge (the node never completed its excursion).
+    double weight = 1.0;
+    const double swingPs = opts_.fullSwingFactor * delays_->delayPs(e.net);
+    if (swingPs > 0.0) {
+      const double gap = e.time - lastCommitPs_[e.net];
+      if (gap < swingPs) weight = gap / swingPs;
+    }
+    lastCommitPs_[e.net] = e.time;
+    log.push_back(Transition{e.time, e.net, e.value, weight});
+    for (NetId g : fanout_[e.net]) scheduleGate(g, e.time);
+  }
+  return log;
+}
+
+}  // namespace lpa

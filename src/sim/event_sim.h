@@ -1,0 +1,74 @@
+#pragma once
+// Event-driven combinational simulator with inertial delays.
+//
+// The simulator reproduces the *logical* glitch behaviour of a transistor-
+// level netlist simulation: different arrival times at a gate's inputs cause
+// transient output changes ("glitches"); pulses shorter than a gate's
+// propagation delay are swallowed (inertial-delay model, the standard
+// approximation of a CMOS stage's low-pass behaviour).
+//
+// Usage per trace (the paper's Fig. 5 protocol):
+//   sim.settle(initialInputs);                  // steady state, no events
+//   auto transitions = sim.run(finalInputs);    // timed transition list
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/delay_model.h"
+#include "sim/waveform.h"
+
+namespace lpa {
+
+enum class DelayKind {
+  Inertial,   ///< short pulses swallowed (physical default)
+  Transport,  ///< every scheduled change propagates (ablation mode)
+};
+
+struct SimOptions {
+  DelayKind kind = DelayKind::Inertial;
+  /// A pulse narrower than `fullSwingFactor * gateDelay` only partially
+  /// swings the node: its trailing edge's energy weight is the width/delay
+  /// ratio, clamped to 1. Set to 0 to give every edge full energy.
+  double fullSwingFactor = 2.0;
+};
+
+class EventSim {
+ public:
+  EventSim(const Netlist& nl, const DelayModel& delays,
+           DelayKind kind = DelayKind::Inertial);
+  EventSim(const Netlist& nl, const DelayModel& delays,
+           const SimOptions& options);
+
+  /// Establishes a steady state with the given inputs (inputs() order).
+  void settle(const std::vector<std::uint8_t>& inputValues);
+
+  /// Applies new input values at t=0 and simulates until quiescence.
+  /// Returns all committed transitions, time-ordered. The internal state is
+  /// the settled final state afterwards.
+  std::vector<Transition> run(const std::vector<std::uint8_t>& inputValues);
+
+  /// Current committed value of a net.
+  std::uint8_t value(NetId net) const { return state_[net]; }
+
+  /// Values of the primary outputs in outputs() order.
+  std::vector<std::uint8_t> outputValues() const;
+
+ private:
+  struct Pending {
+    double time = 0.0;
+    std::uint64_t seq = 0;
+    std::uint8_t value = 0;
+    bool active = false;
+  };
+
+  const Netlist* nl_;
+  const DelayModel* delays_;
+  SimOptions opts_;
+  std::vector<std::vector<NetId>> fanout_;  // per net: gates it feeds
+  std::vector<std::uint8_t> state_;
+  std::vector<Pending> pending_;
+  std::vector<double> lastCommitPs_;
+  std::uint64_t seqCounter_ = 0;
+};
+
+}  // namespace lpa

@@ -1,0 +1,22 @@
+#pragma once
+// Value-change-dump (VCD) export of one simulation run, viewable in GTKWave
+// and friends. Time resolution is 1 ps.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/waveform.h"
+
+namespace lpa {
+
+/// Renders a VCD document for the given transitions. `initialState` is the
+/// settled pre-stimulus value of every net (state *before* the run).
+/// Only primary inputs/outputs and nets that toggle are declared, keeping
+/// dumps of large netlists readable.
+std::string toVcd(const Netlist& nl,
+                  const std::vector<std::uint8_t>& initialState,
+                  const std::vector<Transition>& transitions,
+                  const std::string& topName = "lpa");
+
+}  // namespace lpa

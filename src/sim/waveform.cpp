@@ -1,0 +1,20 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+
+namespace lpa {
+
+ActivityStats summarizeActivity(const std::vector<Transition>& transitions,
+                                std::size_t numNets) {
+  ActivityStats s;
+  std::vector<std::uint16_t> perNet(numNets, 0);
+  for (const Transition& t : transitions) {
+    ++s.totalTransitions;
+    if (perNet[t.net] > 0) ++s.glitchTransitions;
+    if (perNet[t.net] < 0xFFFF) ++perNet[t.net];
+    s.lastEventPs = std::max(s.lastEventPs, t.timePs);
+  }
+  return s;
+}
+
+}  // namespace lpa

@@ -1,0 +1,33 @@
+#pragma once
+// Transition records produced by the event-driven simulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/gate.h"
+
+namespace lpa {
+
+/// One committed signal change.
+struct Transition {
+  double timePs;
+  NetId net;
+  std::uint8_t newValue;
+  /// Energy weight in (0, 1]: narrow pulses (a net re-toggling shortly
+  /// after its previous edge) only partially swing the output node, so the
+  /// second edge carries proportionally less charge. 1 = full swing.
+  double weight = 1.0;
+};
+
+/// Per-run activity summary.
+struct ActivityStats {
+  std::uint64_t totalTransitions = 0;
+  std::uint64_t glitchTransitions = 0;  ///< transitions beyond the first
+                                        ///< per net in a single run
+  double lastEventPs = 0.0;
+};
+
+ActivityStats summarizeActivity(const std::vector<Transition>& transitions,
+                                std::size_t numNets);
+
+}  // namespace lpa

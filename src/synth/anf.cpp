@@ -1,0 +1,53 @@
+#include "synth/anf.h"
+
+#include <bit>
+
+namespace lpa {
+
+std::vector<std::uint8_t> mobiusTransform(const TruthTable& t) {
+  const std::uint32_t n = t.size();
+  std::vector<std::uint8_t> a(n);
+  for (std::uint32_t x = 0; x < n; ++x) a[x] = t.get(x) ? 1 : 0;
+  for (std::uint32_t step = 1; step < n; step <<= 1) {
+    for (std::uint32_t block = 0; block < n; block += step << 1) {
+      for (std::uint32_t i = block; i < block + step; ++i) {
+        a[i + step] = static_cast<std::uint8_t>(a[i + step] ^ a[i]);
+      }
+    }
+  }
+  return a;
+}
+
+TruthTable anfToTruthTable(int numVars, const std::vector<std::uint8_t>& anf) {
+  std::vector<std::uint8_t> a = anf;
+  const std::uint32_t n = 1u << numVars;
+  for (std::uint32_t step = 1; step < n; step <<= 1) {
+    for (std::uint32_t block = 0; block < n; block += step << 1) {
+      for (std::uint32_t i = block; i < block + step; ++i) {
+        a[i + step] = static_cast<std::uint8_t>(a[i + step] ^ a[i]);
+      }
+    }
+  }
+  TruthTable t(numVars);
+  for (std::uint32_t x = 0; x < n; ++x) t.set(x, a[x] != 0);
+  return t;
+}
+
+std::vector<std::uint32_t> anfMonomials(const TruthTable& t) {
+  const std::vector<std::uint8_t> a = mobiusTransform(t);
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t m = 0; m < a.size(); ++m) {
+    if (a[m]) out.push_back(m);
+  }
+  return out;
+}
+
+int algebraicDegree(const TruthTable& t) {
+  int deg = 0;
+  for (std::uint32_t m : anfMonomials(t)) {
+    deg = std::max(deg, std::popcount(m));
+  }
+  return deg;
+}
+
+}  // namespace lpa

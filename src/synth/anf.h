@@ -1,0 +1,28 @@
+#pragma once
+// Algebraic normal form (ANF) of boolean functions via the Möbius transform.
+//
+// The ANF is the unique representation f(x) = XOR over monomials m of
+// c_m * AND_{i in m} x_i. It is the starting point for the threshold
+// implementation (TI) direct-sharing construction and for degree checks.
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/truthtable.h"
+
+namespace lpa {
+
+/// ANF coefficients: anf[m] == 1 iff monomial with variable-support mask m
+/// is present. Index 0 is the constant term.
+std::vector<std::uint8_t> mobiusTransform(const TruthTable& t);
+
+/// Inverse is the same transform (involution); provided for readability.
+TruthTable anfToTruthTable(int numVars, const std::vector<std::uint8_t>& anf);
+
+/// Masks of all monomials present in the ANF of `t` (ascending).
+std::vector<std::uint32_t> anfMonomials(const TruthTable& t);
+
+/// Algebraic degree: max popcount over present monomials (0 for constants).
+int algebraicDegree(const TruthTable& t);
+
+}  // namespace lpa

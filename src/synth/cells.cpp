@@ -1,0 +1,13 @@
+#include "synth/cells.h"
+
+namespace lpa {
+
+NetId mux2Aoi(NetlistBuilder& b, SharedComplements& comp, NetId sel, NetId a0,
+              NetId a1) {
+  const NetId nsel = comp.of(sel);
+  const NetId t0 = b.andGate({nsel, a0});
+  const NetId t1 = b.andGate({sel, a1});
+  return b.orGate({t0, t1});
+}
+
+}  // namespace lpa

@@ -1,0 +1,39 @@
+#pragma once
+// Small reusable structural cells.
+
+#include <unordered_map>
+
+#include "netlist/builder.h"
+
+namespace lpa {
+
+/// Lazily instantiated, shared inverter bank: at most one INV per net, so
+/// decoders and SOP mappers reuse complements (the paper's table-based
+/// netlists have exactly one inverter per input).
+class SharedComplements {
+ public:
+  explicit SharedComplements(NetlistBuilder& b) : b_(&b) {}
+
+  NetId of(NetId net) {
+    auto it = cache_.find(net);
+    if (it != cache_.end()) return it->second;
+    const NetId bar = b_->inv(net);
+    cache_.emplace(net, bar);
+    return bar;
+  }
+
+  /// Literal helper: the net itself if `positive`, else its complement.
+  NetId literal(NetId net, bool positive) {
+    return positive ? net : of(net);
+  }
+
+ private:
+  NetlistBuilder* b_;
+  std::unordered_map<NetId, NetId> cache_;
+};
+
+/// 2:1 multiplexer out = sel ? a1 : a0, in AND/OR/INV logic.
+NetId mux2Aoi(NetlistBuilder& b, SharedComplements& comp, NetId sel, NetId a0,
+              NetId a1);
+
+}  // namespace lpa

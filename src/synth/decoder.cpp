@@ -1,0 +1,83 @@
+#include "synth/decoder.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+std::vector<NetId> buildAndDecoder(NetlistBuilder& b, SharedComplements& comp,
+                                   const std::vector<NetId>& ins,
+                                   int maxFanin) {
+  const std::size_t k = ins.size();
+  if (k == 0 || k > 8) throw std::invalid_argument("decoder width 1..8");
+  const std::size_t n = std::size_t{1} << k;
+  std::vector<NetId> lines;
+  lines.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<NetId> lits;
+    lits.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      lits.push_back(comp.literal(ins[i], ((j >> i) & 1u) != 0));
+    }
+    lines.push_back(k == 1 ? lits[0] : b.andGate(lits, maxFanin));
+  }
+  return lines;
+}
+
+std::vector<NetId> buildNorDecoder(NetlistBuilder& b, SharedComplements& comp,
+                                   const std::vector<NetId>& ins) {
+  const std::size_t k = ins.size();
+  if (k == 0 || k > kMaxFanin) {
+    throw std::invalid_argument("NOR decoder width 1..4");
+  }
+  const std::size_t n = std::size_t{1} << k;
+  std::vector<NetId> lines;
+  lines.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    // Line j is high iff every input matches j; with a NOR we list, for each
+    // bit, the literal that must be LOW when the address matches.
+    std::vector<NetId> lows;
+    lows.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const bool wantHigh = ((j >> i) & 1u) != 0;
+      // If bit must be high, its complement must be low (and vice versa).
+      lows.push_back(wantHigh ? comp.of(ins[i]) : ins[i]);
+    }
+    lines.push_back(k == 1 ? comp.of(lows[0]) : b.norGate(lows));
+  }
+  return lines;
+}
+
+NetId norRomOr(NetlistBuilder& b, std::vector<NetId> lines) {
+  if (lines.empty()) throw std::invalid_argument("empty ROM OR plane");
+  if (lines.size() == 1) return lines[0];
+  // Alternate NOR / NAND levels: NOR4 of active-high lines gives active-low
+  // groups; NAND4 of active-low groups gives active-high; repeat.
+  bool activeHigh = true;
+  while (lines.size() > 1) {
+    std::vector<NetId> next;
+    next.reserve(lines.size() / 2 + 1);
+    std::size_t i = 0;
+    while (i < lines.size()) {
+      const std::size_t take =
+          std::min<std::size_t>(kMaxFanin, lines.size() - i);
+      if (take == 1) {
+        // Odd leftover: pass through an inverter to keep polarity uniform.
+        next.push_back(b.inv(lines[i]));
+        ++i;
+        continue;
+      }
+      std::vector<NetId> group(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                               lines.begin() +
+                                   static_cast<std::ptrdiff_t>(i + take));
+      next.push_back(activeHigh ? b.norGate(group) : b.nandGate(group));
+      i += take;
+    }
+    lines = std::move(next);
+    activeHigh = !activeHigh;
+  }
+  // After the loop the single net is active-low when activeHigh==false was
+  // consumed... polarity: we flipped once per level; restore to active-high.
+  return activeHigh ? lines[0] : b.inv(lines[0]);
+}
+
+}  // namespace lpa

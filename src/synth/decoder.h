@@ -1,0 +1,28 @@
+#pragma once
+// One-hot decoders used by the table-based masked S-boxes (GLUT, RSM-ROM).
+
+#include <vector>
+
+#include "netlist/builder.h"
+#include "synth/cells.h"
+
+namespace lpa {
+
+/// Builds a 2^k one-hot decoder from k input nets using AND gates
+/// (line j is high iff the inputs spell j, bit 0 = ins[0]).
+/// Complements come from the shared inverter bank.
+std::vector<NetId> buildAndDecoder(NetlistBuilder& b, SharedComplements& comp,
+                                   const std::vector<NetId>& ins,
+                                   int maxFanin = kMaxFanin);
+
+/// NOR-flavored decoder for ROM-style netlists: line j = NOR of the literals
+/// that must be low, i.e. built exclusively from NOR cells (plus the shared
+/// inverter bank). Active-high one-hot output.
+std::vector<NetId> buildNorDecoder(NetlistBuilder& b, SharedComplements& comp,
+                                   const std::vector<NetId>& ins);
+
+/// OR-reduction of `lines` as a NOR/NAND tree (for ROM bit planes): returns
+/// an active-high OR of all lines using only NOR/NAND/INV cells.
+NetId norRomOr(NetlistBuilder& b, std::vector<NetId> lines);
+
+}  // namespace lpa

@@ -1,0 +1,25 @@
+#include "synth/mapper.h"
+
+namespace lpa {
+
+NetId mapSop(NetlistBuilder& b, SharedComplements& comp,
+             const std::vector<NetId>& ins, const std::vector<Cube>& sop,
+             int maxFanin) {
+  if (sop.empty()) return b.const0();
+  std::vector<NetId> products;
+  products.reserve(sop.size());
+  for (const Cube& c : sop) {
+    if (c.care == 0) return b.const1();  // universal cube
+    std::vector<NetId> lits;
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      if ((c.care >> i) & 1u) {
+        lits.push_back(comp.literal(ins[i], ((c.value >> i) & 1u) != 0));
+      }
+    }
+    products.push_back(lits.size() == 1 ? lits[0]
+                                        : b.andGate(lits, maxFanin));
+  }
+  return products.size() == 1 ? products[0] : b.orGate(products, maxFanin);
+}
+
+}  // namespace lpa

@@ -1,0 +1,20 @@
+#pragma once
+// Structural technology mapping of two-level covers onto 2-4-input cells.
+
+#include <vector>
+
+#include "netlist/builder.h"
+#include "synth/cells.h"
+#include "synth/qm.h"
+
+namespace lpa {
+
+/// Maps an SOP cover to gates: one AND tree per cube (literals taken from
+/// `ins` / shared complements), one OR tree over all cubes. Returns the net
+/// computing the function. Empty covers map to a constant 0; a cover
+/// containing the universal cube maps to constant 1.
+NetId mapSop(NetlistBuilder& b, SharedComplements& comp,
+             const std::vector<NetId>& ins, const std::vector<Cube>& sop,
+             int maxFanin = kMaxFanin);
+
+}  // namespace lpa

@@ -1,0 +1,131 @@
+#include "synth/qm.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace lpa {
+
+namespace {
+
+struct CubeHash {
+  std::size_t operator()(const Cube& c) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(c.care) << 32) | c.value);
+  }
+};
+
+}  // namespace
+
+int Cube::literals() const { return std::popcount(care); }
+
+std::vector<Cube> minimizeQm(const TruthTable& on, const TruthTable* dontCare) {
+  const int nv = on.numVars();
+  if (dontCare != nullptr && dontCare->numVars() != nv) {
+    throw std::invalid_argument("don't-care table variable count mismatch");
+  }
+  const std::uint32_t full = (nv == 32) ? ~0u : ((1u << nv) - 1u);
+
+  // Seed cubes: all on-set and don't-care minterms as fully-specified cubes.
+  std::unordered_set<Cube, CubeHash> current;
+  std::vector<std::uint32_t> onMinterms;
+  for (std::uint32_t x = 0; x < on.size(); ++x) {
+    const bool isOn = on.get(x);
+    const bool isDc = dontCare != nullptr && dontCare->get(x);
+    if (isOn) onMinterms.push_back(x);
+    if (isOn || isDc) current.insert(Cube{full, x});
+  }
+  if (onMinterms.empty()) return {};
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::unordered_set<Cube, CubeHash> next;
+    std::unordered_set<Cube, CubeHash> combined;
+    std::vector<Cube> cur(current.begin(), current.end());
+    // Try to merge every pair differing in exactly one cared bit.
+    // Bucket by care mask to limit pair tests.
+    std::sort(cur.begin(), cur.end(), [](const Cube& a, const Cube& b) {
+      return a.care < b.care ||
+             (a.care == b.care && a.value < b.value);
+    });
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      for (std::size_t j = i + 1; j < cur.size(); ++j) {
+        if (cur[j].care != cur[i].care) break;  // sorted by care
+        const std::uint32_t diff =
+            (cur[i].value ^ cur[j].value) & cur[i].care;
+        if (std::popcount(diff) == 1) {
+          Cube merged{cur[i].care & ~diff, cur[i].value & ~diff};
+          merged.value &= merged.care;
+          next.insert(merged);
+          combined.insert(cur[i]);
+          combined.insert(cur[j]);
+        }
+      }
+    }
+    for (const Cube& c : cur) {
+      if (!combined.count(c)) primes.push_back(c);
+    }
+    current = std::move(next);
+  }
+
+  // Cover selection over the on-set only.
+  std::vector<std::vector<std::uint32_t>> coverLists(primes.size());
+  std::vector<std::vector<std::uint32_t>> coveredBy(onMinterms.size());
+  for (std::size_t p = 0; p < primes.size(); ++p) {
+    for (std::size_t m = 0; m < onMinterms.size(); ++m) {
+      if (primes[p].covers(onMinterms[m])) {
+        coverLists[p].push_back(static_cast<std::uint32_t>(m));
+        coveredBy[m].push_back(static_cast<std::uint32_t>(p));
+      }
+    }
+  }
+
+  std::vector<char> mintermDone(onMinterms.size(), 0);
+  std::vector<char> primeUsed(primes.size(), 0);
+  std::vector<Cube> cover;
+  // Essential primes.
+  for (std::size_t m = 0; m < onMinterms.size(); ++m) {
+    if (coveredBy[m].size() == 1) {
+      const std::uint32_t p = coveredBy[m][0];
+      if (!primeUsed[p]) {
+        primeUsed[p] = 1;
+        cover.push_back(primes[p]);
+        for (std::uint32_t mm : coverLists[p]) mintermDone[mm] = 1;
+      }
+    }
+  }
+  // Greedy for the rest: prefer primes covering many remaining minterms,
+  // tie-break on fewer literals (bigger cubes).
+  for (;;) {
+    std::size_t bestP = primes.size();
+    std::size_t bestCount = 0;
+    for (std::size_t p = 0; p < primes.size(); ++p) {
+      if (primeUsed[p]) continue;
+      std::size_t cnt = 0;
+      for (std::uint32_t m : coverLists[p]) {
+        if (!mintermDone[m]) ++cnt;
+      }
+      if (cnt > bestCount ||
+          (cnt == bestCount && cnt > 0 && bestP < primes.size() &&
+           primes[p].literals() < primes[bestP].literals())) {
+        bestCount = cnt;
+        bestP = p;
+      }
+    }
+    if (bestCount == 0) break;
+    primeUsed[bestP] = 1;
+    cover.push_back(primes[bestP]);
+    for (std::uint32_t m : coverLists[bestP]) mintermDone[m] = 1;
+  }
+  return cover;
+}
+
+bool evalSop(const std::vector<Cube>& sop, std::uint32_t x) {
+  for (const Cube& c : sop) {
+    if (c.covers(x)) return true;
+  }
+  return false;
+}
+
+}  // namespace lpa

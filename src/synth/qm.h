@@ -1,0 +1,37 @@
+#pragma once
+// Quine-McCluskey two-level minimization.
+//
+// Produces a (near-)minimal sum-of-products cover: prime implicants are
+// generated exactly; cover selection uses essential primes followed by a
+// greedy set cover, which is the standard practical compromise.
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/truthtable.h"
+
+namespace lpa {
+
+/// A product term (cube). Variable i is in the term iff bit i of `care` is
+/// set; its polarity is bit i of `value` (1 = positive literal).
+struct Cube {
+  std::uint32_t care = 0;
+  std::uint32_t value = 0;
+
+  bool covers(std::uint32_t minterm) const {
+    return (minterm & care) == (value & care);
+  }
+  int literals() const;
+  bool operator==(const Cube&) const = default;
+};
+
+/// Minimizes `on` (with optional `dontCare`) into an SOP cover.
+/// Complexity is exponential in the worst case (XOR-like functions); intended
+/// for the small functions of this project (<= 12 variables).
+std::vector<Cube> minimizeQm(const TruthTable& on,
+                             const TruthTable* dontCare = nullptr);
+
+/// Evaluates an SOP cover on an input assignment.
+bool evalSop(const std::vector<Cube>& sop, std::uint32_t x);
+
+}  // namespace lpa

@@ -1,0 +1,75 @@
+#pragma once
+// Straight-line programs (SLP) over {XOR, AND, OR, NOT} and a stochastic
+// optimizer in the spirit of the SAT-based circuit-minimization flow the
+// paper cites (NIST circuit complexity project).
+//
+// The optimizer is a (1+1)-style evolutionary search over fixed-length
+// genomes with dead-code elimination; phase 1 drives functional error to
+// zero, phase 2 minimizes `gates + 2 * nonlinear` while staying exact.
+// It reliably rediscovers 14-gate PRESENT S-box circuits with the exact
+// profile reported in the paper's Table I (2 AND, 2 OR, 9 XOR, 1 INV).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.h"
+
+namespace lpa {
+
+enum class SlpOp : std::uint8_t { Xor, And, Or, Not };
+
+struct SlpStep {
+  SlpOp op;
+  int a;  ///< operand index: 0..numInputs-1 are inputs, then step outputs
+  int b;  ///< ignored for Not
+};
+
+/// A straight-line program computing numOutputs boolean functions of
+/// numInputs variables.
+struct Slp {
+  int numInputs = 0;
+  std::vector<SlpStep> steps;
+  std::vector<int> outputs;  ///< operand indices
+
+  /// Evaluates on a packed input word (bit i = input i).
+  std::uint32_t eval(std::uint32_t x) const;
+
+  /// Per-output 16-entry truth tables (numInputs must be 4).
+  std::array<std::uint16_t, 4> truthTables4() const;
+
+  /// Gate histogram {xor, and, or, not} counting only live steps.
+  struct Profile {
+    int xorCount = 0, andCount = 0, orCount = 0, notCount = 0;
+    int total() const { return xorCount + andCount + orCount + notCount; }
+    int nonlinear() const { return andCount + orCount; }
+  };
+  Profile profile() const;
+
+  /// Removes steps not reachable from the outputs.
+  Slp pruned() const;
+
+  /// Emits the program into a netlist builder; `ins` supplies the input nets.
+  /// Returns the output nets in order.
+  std::vector<NetId> emit(NetlistBuilder& b,
+                          const std::vector<NetId>& ins) const;
+
+  std::string toString() const;
+};
+
+/// Options for the stochastic optimizer.
+struct SlpSearchOptions {
+  int genomeLength = 24;          ///< steps in the genome (before pruning)
+  std::uint64_t maxIterations = 2'000'000;
+  std::uint64_t seed = 1;
+  int nonlinearWeight = 2;        ///< cost = gates + weight * (AND+OR)
+};
+
+/// Searches for an SLP computing the 4 output truth tables (16-entry each)
+/// of a 4-bit function. Returns the best exact program found, if any.
+std::optional<Slp> searchSlp4(const std::array<std::uint16_t, 4>& targets,
+                              const SlpSearchOptions& opts);
+
+}  // namespace lpa

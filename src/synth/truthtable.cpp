@@ -1,0 +1,59 @@
+#include "synth/truthtable.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lpa {
+
+TruthTable::TruthTable(int numVars) : numVars_(numVars) {
+  if (numVars < 0 || numVars > 20) {
+    throw std::invalid_argument("truth table supports 0..20 variables");
+  }
+  const std::uint32_t n = 1u << numVars;
+  words_.assign((n + 63) / 64, 0);
+}
+
+TruthTable TruthTable::fromFunction(
+    int numVars, const std::function<bool(std::uint32_t)>& f) {
+  TruthTable t(numVars);
+  for (std::uint32_t x = 0; x < t.size(); ++x) t.set(x, f(x));
+  return t;
+}
+
+TruthTable TruthTable::fromLutBit(int numVars,
+                                  const std::vector<std::uint8_t>& lut,
+                                  int bit) {
+  if (lut.size() != (1u << numVars)) {
+    throw std::invalid_argument("lut size mismatch");
+  }
+  TruthTable t(numVars);
+  for (std::uint32_t x = 0; x < t.size(); ++x) {
+    t.set(x, (lut[x] >> bit) & 1u);
+  }
+  return t;
+}
+
+void TruthTable::set(std::uint32_t x, bool v) {
+  if (v) {
+    words_[x >> 6] |= (std::uint64_t{1} << (x & 63));
+  } else {
+    words_[x >> 6] &= ~(std::uint64_t{1} << (x & 63));
+  }
+}
+
+std::uint32_t TruthTable::onCount() const {
+  std::uint32_t c = 0;
+  for (std::uint64_t w : words_) c += static_cast<std::uint32_t>(std::popcount(w));
+  return c;
+}
+
+std::vector<std::uint32_t> TruthTable::onSet() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(onCount());
+  for (std::uint32_t x = 0; x < size(); ++x) {
+    if (get(x)) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace lpa

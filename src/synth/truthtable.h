@@ -1,0 +1,44 @@
+#pragma once
+// Dense truth tables for boolean functions of up to 20 variables.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace lpa {
+
+class TruthTable {
+ public:
+  TruthTable() = default;
+  explicit TruthTable(int numVars);
+
+  /// Builds a table by evaluating `f` on every input assignment.
+  static TruthTable fromFunction(int numVars,
+                                 const std::function<bool(std::uint32_t)>& f);
+
+  /// Builds the table of output bit `bit` of a k-bit lookup table `lut`
+  /// (lut.size() == 2^numVars).
+  static TruthTable fromLutBit(int numVars,
+                               const std::vector<std::uint8_t>& lut, int bit);
+
+  int numVars() const { return numVars_; }
+  std::uint32_t size() const { return 1u << numVars_; }
+
+  bool get(std::uint32_t x) const {
+    return (words_[x >> 6] >> (x & 63)) & 1u;
+  }
+  void set(std::uint32_t x, bool v);
+
+  /// Number of inputs mapped to 1.
+  std::uint32_t onCount() const;
+  /// All inputs mapped to 1, ascending.
+  std::vector<std::uint32_t> onSet() const;
+
+  bool operator==(const TruthTable& o) const = default;
+
+ private:
+  int numVars_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lpa

@@ -1,0 +1,57 @@
+#include "trace/acquisition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/present.h"
+
+namespace lpa {
+
+TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
+                 const PowerModel& power, const AcquisitionConfig& cfg) {
+  Prng rng(cfg.seed);
+  // Balanced, shuffled schedule of final classes.
+  std::vector<std::uint8_t> schedule;
+  schedule.reserve(16u * cfg.tracesPerClass);
+  for (std::uint32_t r = 0; r < cfg.tracesPerClass; ++r) {
+    for (std::uint8_t c = 0; c < 16; ++c) schedule.push_back(c);
+  }
+  for (std::size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng.below(static_cast<std::uint32_t>(i))]);
+  }
+
+  TraceSet traces(power.options().numSamples);
+  for (const std::uint8_t cls : schedule) {
+    const std::vector<std::uint8_t> init =
+        sbox.encode(cfg.initialValue, rng);
+    sim.settle(init);
+    const std::vector<std::uint8_t> fin = sbox.encode(cls, rng);
+    const std::vector<Transition> transitions = sim.run(fin);
+    // Functional sanity: the netlist must produce the right unmasked value.
+    const std::uint8_t decoded = sbox.decode(sim.outputValues(), fin);
+    if (decoded != kPresentSbox[cls]) {
+      throw std::logic_error("acquisition: decode mismatch");
+    }
+    traces.add(cls, power.sample(transitions, rng.next() | 1ULL));
+  }
+  return traces;
+}
+
+TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
+                      const PowerModel& power, std::uint8_t key,
+                      std::uint32_t numTraces, std::uint64_t seed) {
+  Prng rng(seed);
+  TraceSet traces(power.options().numSamples);
+  for (std::uint32_t i = 0; i < numTraces; ++i) {
+    const std::uint8_t plain = rng.nibble();
+    const std::vector<std::uint8_t> init = sbox.encode(0, rng);
+    sim.settle(init);
+    const std::vector<std::uint8_t> fin =
+        sbox.encode(static_cast<std::uint8_t>(plain ^ key), rng);
+    const std::vector<Transition> transitions = sim.run(fin);
+    traces.add(plain, power.sample(transitions, rng.next() | 1ULL));
+  }
+  return traces;
+}
+
+}  // namespace lpa

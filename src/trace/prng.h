@@ -1,0 +1,70 @@
+#pragma once
+// Deterministic PRNG (xoshiro256**) used wherever the paper draws random
+// masks or plaintexts. Seeded experiments are exactly reproducible.
+
+#include <cstdint>
+
+namespace lpa {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    std::uint64_t x = seed;
+    for (auto& s : s_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, 2^bits).
+  std::uint32_t bits(int nbits) {
+    return static_cast<std::uint32_t>(next() >> (64 - nbits));
+  }
+  std::uint8_t bit() { return static_cast<std::uint8_t>(next() >> 63); }
+  std::uint8_t nibble() { return static_cast<std::uint8_t>(bits(4)); }
+
+  /// Uniform integer in [0, n) without modulo bias (n <= 2^32).
+  std::uint32_t below(std::uint32_t n) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t m = static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                          next())) *
+                      n;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < n) {
+      const std::uint32_t threshold = (0u - n) % n;
+      while (lo < threshold) {
+        m = static_cast<std::uint64_t>(static_cast<std::uint32_t>(next())) * n;
+        lo = static_cast<std::uint32_t>(m);
+      }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace lpa

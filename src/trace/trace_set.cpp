@@ -1,0 +1,46 @@
+#include "trace/trace_set.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+void TraceSet::add(std::uint8_t cls, std::vector<double> trace) {
+  if (cls >= numClasses_) throw std::invalid_argument("class out of range");
+  if (trace.size() != numSamples_) {
+    throw std::invalid_argument("trace length mismatch");
+  }
+  labels_.push_back(cls);
+  samples_.insert(samples_.end(), trace.begin(), trace.end());
+}
+
+std::vector<std::vector<double>> TraceSet::classMeans(
+    std::size_t firstN) const {
+  const std::size_t n =
+      firstN == 0 ? size() : std::min(firstN, size());
+  std::vector<std::vector<double>> mean(
+      numClasses_, std::vector<double>(numSamples_, 0.0));
+  std::vector<std::uint32_t> count(numClasses_, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t c = labels_[i];
+    const double* t = trace(i);
+    for (std::uint32_t s = 0; s < numSamples_; ++s) mean[c][s] += t[s];
+    ++count[c];
+  }
+  for (std::uint32_t c = 0; c < numClasses_; ++c) {
+    if (count[c] == 0) continue;
+    for (std::uint32_t s = 0; s < numSamples_; ++s) {
+      mean[c][s] /= static_cast<double>(count[c]);
+    }
+  }
+  return mean;
+}
+
+std::vector<std::uint32_t> TraceSet::classCounts(std::size_t firstN) const {
+  const std::size_t n =
+      firstN == 0 ? size() : std::min(firstN, size());
+  std::vector<std::uint32_t> count(numClasses_, 0);
+  for (std::size_t i = 0; i < n; ++i) ++count[labels_[i]];
+  return count;
+}
+
+}  // namespace lpa

@@ -1,0 +1,42 @@
+#pragma once
+// Power-trace container with class labels (the unmasked S-box input).
+
+#include <cstdint>
+#include <vector>
+
+namespace lpa {
+
+/// A set of fixed-length power traces, each labelled with its class
+/// (the final unmasked value t in F_2^4; 16 classes).
+class TraceSet {
+ public:
+  TraceSet(std::uint32_t numSamples, std::uint32_t numClasses = 16)
+      : numSamples_(numSamples), numClasses_(numClasses) {}
+
+  void add(std::uint8_t cls, std::vector<double> trace);
+
+  std::uint32_t numSamples() const { return numSamples_; }
+  std::uint32_t numClasses() const { return numClasses_; }
+  std::size_t size() const { return labels_.size(); }
+
+  std::uint8_t label(std::size_t i) const { return labels_[i]; }
+  const double* trace(std::size_t i) const {
+    return samples_.data() + i * numSamples_;
+  }
+
+  /// Mean trace per class. If `firstN` > 0 only the first `firstN` traces
+  /// are used (for convergence studies, Fig. 3). Classes with no trace get
+  /// all-zero means.
+  std::vector<std::vector<double>> classMeans(std::size_t firstN = 0) const;
+
+  /// Number of traces per class (over the first `firstN`, 0 = all).
+  std::vector<std::uint32_t> classCounts(std::size_t firstN = 0) const;
+
+ private:
+  std::uint32_t numSamples_;
+  std::uint32_t numClasses_;
+  std::vector<std::uint8_t> labels_;
+  std::vector<double> samples_;  // row-major, size() * numSamples_
+};
+
+}  // namespace lpa

@@ -1,0 +1,158 @@
+#include "aging/aging_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "sboxes/masked_sbox.h"
+
+namespace lpa {
+namespace {
+
+TEST(Bti, DriftGrowsSublinearlyInTime) {
+  const BtiModel m;
+  const double d1 = m.longTermDriftV(12, 1.0);
+  const double d2 = m.longTermDriftV(24, 1.0);
+  const double d3 = m.longTermDriftV(36, 1.0);
+  EXPECT_GT(d1, 0.0);
+  EXPECT_GT(d2, d1);
+  EXPECT_GT(d3, d2);
+  // Saturating: equal time increments add progressively less drift.
+  EXPECT_LT(d2 - d1, d1);
+  EXPECT_LT(d3 - d2, d2 - d1 + 1e-12);
+}
+
+TEST(Bti, DutyDependenceAndZeroCases) {
+  const BtiModel m;
+  EXPECT_EQ(m.longTermDriftV(0.0, 1.0), 0.0);
+  EXPECT_EQ(m.longTermDriftV(48.0, 0.0), 0.0);
+  EXPECT_GT(m.longTermDriftV(48.0, 1.0), m.longTermDriftV(48.0, 0.5));
+  EXPECT_GT(m.longTermDriftV(48.0, 0.5), m.longTermDriftV(48.0, 0.1));
+}
+
+TEST(Bti, AlternatingStressRecoveryStaysBelowContinuous) {
+  // Fig. 1 of the paper: a device stressed every other month drifts less
+  // than one under continuous stress.
+  const BtiModel m;
+  const auto continuous =
+      m.simulatePhases(6.0, 1.0, [](int) { return true; });
+  const auto alternating =
+      m.simulatePhases(6.0, 1.0, [](int i) { return i % 2 == 0; });
+  ASSERT_EQ(continuous.size(), alternating.size());
+  EXPECT_GT(continuous.back().driftV, alternating.back().driftV);
+  // Both trajectories are non-negative and the continuous one is monotone.
+  for (std::size_t i = 1; i < continuous.size(); ++i) {
+    EXPECT_GE(continuous[i].driftV, continuous[i - 1].driftV);
+    EXPECT_GE(alternating[i].driftV, 0.0);
+  }
+  // Recovery phases actually reduce the drift.
+  EXPECT_LT(alternating[2].driftV, alternating[1].driftV);
+}
+
+TEST(Bti, RecoveryNeverGoesNegativeAndKeepsPermanentPart) {
+  const BtiModel m;
+  BtiState s = m.stressStep(BtiState{}, 12.0);
+  const double total = s.totalV();
+  const double permanent = s.permanentV;
+  EXPECT_NEAR(permanent, (1.0 - m.params().recoverableFraction) * total,
+              1e-12);
+  for (int i = 0; i < 100; ++i) s = m.recoveryStep(s, 1.0);
+  EXPECT_NEAR(s.totalV(), permanent, 1e-9);
+  EXPECT_LT(s.totalV(), total);
+}
+
+TEST(Bti, StressStepMatchesLongTermUnderFullDuty) {
+  const BtiModel m;
+  BtiState s;
+  for (int i = 0; i < 12; ++i) s = m.stressStep(s, 1.0);
+  EXPECT_NEAR(s.totalV(), m.longTermDriftV(12.0, 1.0), 1e-9);
+}
+
+TEST(Hci, ActivityAndTimeDependence) {
+  const HciModel m;
+  EXPECT_EQ(m.driftV(48.0, 0.0), 0.0);
+  EXPECT_EQ(m.driftV(0.0, 1.0), 0.0);
+  EXPECT_GT(m.driftV(48.0, 2.0), m.driftV(48.0, 1.0));
+  EXPECT_GT(m.driftV(48.0, 1.0), m.driftV(12.0, 1.0));
+  // Normalization: B is the 48-month drift at 1 toggle/cycle.
+  EXPECT_NEAR(m.driftV(48.0, 1.0), m.params().bVoltsPerUnit, 1e-12);
+}
+
+TEST(StressAccumulator, DutyAndToggleBookkeeping) {
+  StressAccumulator acc(3);
+  acc.addSettledState({1, 0, 1});
+  acc.addSettledState({1, 0, 0});
+  acc.addTransitions({{0.0, 2, 1}, {1.0, 2, 0}});
+  acc.addTransitions({});
+  const StressProfile p = acc.finalize();
+  EXPECT_DOUBLE_EQ(p.dutyHigh[0], 1.0);
+  EXPECT_DOUBLE_EQ(p.dutyHigh[1], 0.0);
+  EXPECT_DOUBLE_EQ(p.dutyHigh[2], 0.5);
+  EXPECT_DOUBLE_EQ(p.togglesPerCycle[2], 1.0);
+  EXPECT_DOUBLE_EQ(p.togglesPerCycle[0], 0.0);
+  EXPECT_THROW(acc.addSettledState({1}), std::invalid_argument);
+}
+
+TEST(AgingModel, FactorsAreBoundedAndMonotone) {
+  StressProfile p;
+  p.dutyHigh = {0.5, 0.9, 0.1};
+  p.togglesPerCycle = {0.5, 2.0, 0.0};
+  const AgingModel model;
+  const AgingFactors f12 = model.evaluate(p, 12.0);
+  const AgingFactors f48 = model.evaluate(p, 48.0);
+  for (std::size_t i = 0; i < p.dutyHigh.size(); ++i) {
+    EXPECT_GT(f12.vthShiftV[i], 0.0);
+    EXPECT_LT(f12.amplitudeScale[i], 1.0);
+    EXPECT_GT(f12.delayScale[i], 1.0);
+    EXPECT_LT(f48.amplitudeScale[i], f12.amplitudeScale[i]);
+    EXPECT_GT(f48.delayScale[i], f12.delayScale[i]);
+    // Delay coupling: delayScale = 1 + frac * (1/amplitude - 1).
+    EXPECT_NEAR(f12.delayScale[i],
+                1.0 + model.params().delayCouplingFraction *
+                          (1.0 / f12.amplitudeScale[i] - 1.0),
+                1e-9);
+  }
+}
+
+TEST(AgingModel, FreshDeviceIsUnscaled) {
+  StressProfile p;
+  p.dutyHigh = {0.5};
+  p.togglesPerCycle = {1.0};
+  const AgingFactors f = AgingModel().evaluate(p, 0.0);
+  EXPECT_DOUBLE_EQ(f.amplitudeScale[0], 1.0);
+  EXPECT_DOUBLE_EQ(f.delayScale[0], 1.0);
+}
+
+TEST(Experiment, StressProfileIsPlausible) {
+  ExperimentConfig cfg;
+  cfg.stressCycles = 64;
+  SboxExperiment exp(SboxStyle::Opt, cfg);
+  const StressProfile& p = exp.stressProfile();
+  ASSERT_EQ(p.dutyHigh.size(), exp.sbox().netlist().numGates());
+  double dutySum = 0.0;
+  double toggles = 0.0;
+  for (std::size_t i = 0; i < p.dutyHigh.size(); ++i) {
+    EXPECT_GE(p.dutyHigh[i], 0.0);
+    EXPECT_LE(p.dutyHigh[i], 1.0);
+    dutySum += p.dutyHigh[i];
+    toggles += p.togglesPerCycle[i];
+  }
+  EXPECT_GT(dutySum, 0.0);
+  EXPECT_GT(toggles, 0.0) << "random operation must toggle gates";
+}
+
+TEST(Experiment, AgingFactorsShrinkPowerOverYears) {
+  ExperimentConfig cfg;
+  cfg.stressCycles = 64;
+  SboxExperiment exp(SboxStyle::Opt, cfg);
+  const AgingFactors y1 = exp.agingFactorsAt(12.0);
+  const AgingFactors y4 = exp.agingFactorsAt(48.0);
+  double m1 = 0.0, m4 = 0.0;
+  for (std::size_t i = 0; i < y1.amplitudeScale.size(); ++i) {
+    m1 += y1.amplitudeScale[i];
+    m4 += y4.amplitudeScale[i];
+  }
+  EXPECT_LT(m4, m1);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,134 @@
+// Netlist composition and the 64-bit PRESENT round-1 datapath.
+
+#include <gtest/gtest.h>
+
+#include "crypto/present.h"
+#include "datapath/round1.h"
+#include "netlist/builder.h"
+#include "netlist/compose.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "sim/event_sim.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+TEST(Compose, InstanceComputesSameFunction) {
+  // Instance: full adder; parent: two chained adders (2-bit ripple).
+  NetlistBuilder fb;
+  const NetId a = fb.input("a");
+  const NetId b = fb.input("b");
+  const NetId c = fb.input("cin");
+  const NetId axb = fb.xorGate(a, b);
+  fb.output(fb.xorGate(axb, c), "sum");
+  fb.output(fb.orGate({fb.andGate({a, b}), fb.andGate({axb, c})}), "cout");
+  const Netlist fa = fb.take();
+
+  Netlist top;
+  const NetId x0 = top.addInput("x0");
+  const NetId x1 = top.addInput("x1");
+  const NetId y0 = top.addInput("y0");
+  const NetId y1 = top.addInput("y1");
+  const auto s0 = appendInstance(top, fa, {x0, y0, top.addGate(GateType::Const0, {})});
+  const auto s1 = appendInstance(top, fa, {x1, y1, s0[1]});
+  top.markOutput(s0[0], "sum0");
+  top.markOutput(s1[0], "sum1");
+  top.markOutput(s1[1], "carry");
+
+  for (std::uint32_t x = 0; x < 4; ++x) {
+    for (std::uint32_t y = 0; y < 4; ++y) {
+      const auto out = top.evaluateOutputs(
+          {static_cast<std::uint8_t>(x & 1), static_cast<std::uint8_t>(x >> 1),
+           static_cast<std::uint8_t>(y & 1),
+           static_cast<std::uint8_t>(y >> 1)});
+      const std::uint32_t sum =
+          static_cast<std::uint32_t>(out[0]) |
+          (static_cast<std::uint32_t>(out[1]) << 1) |
+          (static_cast<std::uint32_t>(out[2]) << 2);
+      EXPECT_EQ(sum, x + y);
+    }
+  }
+}
+
+TEST(Compose, RejectsBadBindings) {
+  NetlistBuilder fb;
+  const NetId a = fb.input("a");
+  fb.output(fb.inv(a), "y");
+  const Netlist inv = fb.take();
+
+  Netlist top;
+  const NetId x = top.addInput("x");
+  EXPECT_THROW(appendInstance(top, inv, {}), std::invalid_argument);
+  EXPECT_THROW(appendInstance(top, inv, {x, x}), std::invalid_argument);
+  EXPECT_THROW(appendInstance(top, inv, {99}), std::invalid_argument);
+}
+
+class Round1StyleTest : public ::testing::TestWithParam<SboxStyle> {};
+
+TEST_P(Round1StyleTest, MatchesSoftwareReference) {
+  const Round1Datapath dp(GetParam());
+  EXPECT_TRUE(validate(dp.netlist()).ok());
+  Prng rng(0xDA7A);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::uint64_t plain = rng.next();
+    const std::uint64_t key = rng.next();
+    const auto in = dp.encode(plain, key, rng);
+    const auto out = dp.netlist().evaluateOutputs(in);
+    EXPECT_EQ(dp.decode(out, in), Round1Datapath::reference(plain, key))
+        << sboxStyleName(GetParam()) << " trial " << trial;
+  }
+}
+
+TEST_P(Round1StyleTest, TimingSimulationAgreesWithReference) {
+  const Round1Datapath dp(GetParam());
+  const DelayModel delays(dp.netlist());
+  EventSim sim(dp.netlist(), delays);
+  Prng rng(0xCAFE);
+  const std::uint64_t key = 0x0123456789ABCDEFULL;
+  auto first = dp.encode(0, key, rng);
+  sim.settle(first);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::uint64_t plain = rng.next();
+    const auto in = dp.encode(plain, key, rng);
+    sim.run(in);
+    EXPECT_EQ(dp.decode(sim.outputValues(), in),
+              Round1Datapath::reference(plain, key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, Round1StyleTest, ::testing::ValuesIn(allSboxStyles()),
+    [](const ::testing::TestParamInfo<SboxStyle>& info) {
+      std::string n{sboxStyleName(info.param)};
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(Round1, SizesScaleBySixteenPlusKeyAdder) {
+  const Round1Datapath dp(SboxStyle::Opt);
+  const auto core = makeSbox(SboxStyle::Opt);
+  const NetlistStats dpStats = computeStats(dp.netlist());
+  const NetlistStats coreStats = computeStats(core->netlist());
+  // 16 cores + 64 add-round-key XOR gates.
+  EXPECT_EQ(dpStats.totalGates, 16 * coreStats.totalGates + 64);
+  EXPECT_EQ(dp.netlist().inputs().size(), 16 * 4 + 64);
+  EXPECT_EQ(dp.randomBits(), 0);
+  EXPECT_EQ(Round1Datapath(SboxStyle::Ti).randomBits(), 16 * 12);
+}
+
+TEST(Round1, ReferenceMatchesFullCipherRound) {
+  // The datapath's reference must equal the first round of the real
+  // cipher (key addition + S-box layer + pLayer).
+  const std::vector<std::uint8_t> key(10, 0x5A);
+  const Present cipher(PresentKeySize::K80, key);
+  const std::uint64_t plain = 0x123456789ABCDEF0ULL;
+  const std::uint64_t round1 =
+      Present::pLayer(Present::sBoxLayer(plain ^ cipher.roundKeys()[0]));
+  EXPECT_EQ(Round1Datapath::reference(plain, cipher.roundKeys()[0]), round1);
+}
+
+}  // namespace
+}  // namespace lpa

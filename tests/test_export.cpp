@@ -1,0 +1,103 @@
+// Verilog and VCD export.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/verilog.h"
+#include "sboxes/masked_sbox.h"
+#include "sim/event_sim.h"
+#include "sim/vcd.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+std::size_t countOccurrences(const std::string& hay, const std::string& sub) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(sub); pos != std::string::npos;
+       pos = hay.find(sub, pos + sub.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Verilog, EmitsWellFormedModule) {
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  const NetId c = b.input("b-2");  // name needs sanitizing
+  b.output(b.xorGate(a, c), "y");
+  b.output(b.nandGate({a, c}), "z");
+  const std::string v = toVerilog(b.take(), "tiny top");
+
+  EXPECT_NE(v.find("module tiny_top("), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("input b_2;"), std::string::npos);
+  EXPECT_NE(v.find("output y;"), std::string::npos);
+  EXPECT_EQ(countOccurrences(v, "xor "), 1u);
+  EXPECT_EQ(countOccurrences(v, "nand "), 1u);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, GateCountMatchesNetlist) {
+  const auto sbox = makeSbox(SboxStyle::Opt);
+  const std::string v = toVerilog(sbox->netlist(), "present_sbox_opt");
+  // 9 XOR + 2 AND + 2 OR + 1 NOT primitives.
+  EXPECT_EQ(countOccurrences(v, "\n  xor "), 9u);
+  EXPECT_EQ(countOccurrences(v, "\n  and "), 2u);
+  EXPECT_EQ(countOccurrences(v, "\n  or "), 2u);
+  EXPECT_EQ(countOccurrences(v, "\n  not "), 1u);
+}
+
+TEST(Verilog, ConstantsBecomeAssigns) {
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  (void)a;
+  b.output(b.const1(), "one");
+  const std::string v = toVerilog(b.peek(), "m");
+  EXPECT_NE(v.find("= 1'b1;"), std::string::npos);
+}
+
+TEST(Vcd, HeaderInitialDumpAndTransitions) {
+  const auto sbox = makeSbox(SboxStyle::Opt);
+  const Netlist& nl = sbox->netlist();
+  const DelayModel dm(nl);
+  EventSim sim(nl, dm);
+  Prng rng(1);
+  const auto init = sbox->encode(0x0, rng);
+  sim.settle(init);
+  const std::vector<std::uint8_t> state0 = nl.evaluate(init);
+  const auto tr = sim.run(sbox->encode(0xA, rng));
+  ASSERT_FALSE(tr.empty());
+
+  const std::string vcd = toVcd(nl, state0, tr, "opt_sbox");
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$scope module opt_sbox $end"), std::string::npos);
+  EXPECT_NE(vcd.find("$dumpvars"), std::string::npos);
+  // Ports are declared with their names.
+  EXPECT_NE(vcd.find(" x0 $end"), std::string::npos);
+  EXPECT_NE(vcd.find(" y3 $end"), std::string::npos);
+  // One timestamped section per distinct transition time, at least #0.
+  EXPECT_NE(vcd.find("\n#0\n"), std::string::npos);
+  // Every committed transition shows up as a value-change line.
+  std::size_t changes = 0;
+  bool afterDump = false;
+  std::istringstream ss(vcd);
+  for (std::string line; std::getline(ss, line);) {
+    if (line == "$end") {
+      afterDump = true;
+      continue;
+    }
+    if (afterDump && !line.empty() && (line[0] == '0' || line[0] == '1')) {
+      ++changes;
+    }
+  }
+  EXPECT_EQ(changes, tr.size());
+}
+
+TEST(Vcd, RejectsWrongStateSize) {
+  const auto sbox = makeSbox(SboxStyle::Opt);
+  EXPECT_THROW(toVcd(sbox->netlist(), {0, 1}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,94 @@
+#include "netlist/gate.h"
+
+#include <gtest/gtest.h>
+
+namespace lpa {
+namespace {
+
+TEST(Gate, NamesAreStable) {
+  EXPECT_EQ(gateTypeName(GateType::And), "AND");
+  EXPECT_EQ(gateTypeName(GateType::Nor), "NOR");
+  EXPECT_EQ(gateTypeName(GateType::Xnor), "XNOR");
+  EXPECT_EQ(gateTypeName(GateType::Input), "INPUT");
+}
+
+TEST(Gate, SourceGateClassification) {
+  EXPECT_TRUE(isSourceGate(GateType::Input));
+  EXPECT_TRUE(isSourceGate(GateType::Const0));
+  EXPECT_TRUE(isSourceGate(GateType::Const1));
+  EXPECT_FALSE(isSourceGate(GateType::Inv));
+  EXPECT_FALSE(isSourceGate(GateType::And));
+}
+
+TEST(Gate, FaninRanges) {
+  EXPECT_EQ(gateFaninRange(GateType::Input).max, 0);
+  EXPECT_EQ(gateFaninRange(GateType::Inv).min, 1);
+  EXPECT_EQ(gateFaninRange(GateType::Inv).max, 1);
+  EXPECT_EQ(gateFaninRange(GateType::And).min, 2);
+  EXPECT_EQ(gateFaninRange(GateType::And).max, 4);
+  EXPECT_EQ(gateFaninRange(GateType::Xor).max, 2);
+}
+
+TEST(Gate, EquivalentGatesFollowNand2Convention) {
+  EXPECT_DOUBLE_EQ(gateEquivalents(GateType::Nand, 2), 1.0);
+  EXPECT_DOUBLE_EQ(gateEquivalents(GateType::Inv, 1), 0.5);
+  EXPECT_GT(gateEquivalents(GateType::And, 4), gateEquivalents(GateType::And, 2));
+  EXPECT_DOUBLE_EQ(gateEquivalents(GateType::Input, 0), 0.0);
+}
+
+class GateEvalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GateEvalTest, TwoInputFunctionsMatchDefinitions) {
+  const int x = GetParam();
+  const std::uint8_t a = static_cast<std::uint8_t>(x & 1);
+  const std::uint8_t b = static_cast<std::uint8_t>((x >> 1) & 1);
+  std::array<std::uint8_t, kMaxFanin> v{a, b, 0, 0};
+  Gate g;
+  g.numFanin = 2;
+
+  g.type = GateType::And;
+  EXPECT_EQ(evalGate(g, v), a & b);
+  g.type = GateType::Or;
+  EXPECT_EQ(evalGate(g, v), a | b);
+  g.type = GateType::Nand;
+  EXPECT_EQ(evalGate(g, v), (a & b) ^ 1);
+  g.type = GateType::Nor;
+  EXPECT_EQ(evalGate(g, v), (a | b) ^ 1);
+  g.type = GateType::Xor;
+  EXPECT_EQ(evalGate(g, v), a ^ b);
+  g.type = GateType::Xnor;
+  EXPECT_EQ(evalGate(g, v), a ^ b ^ 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwoBitInputs, GateEvalTest,
+                         ::testing::Range(0, 4));
+
+TEST(Gate, WideAndNorEvaluate) {
+  Gate g;
+  g.type = GateType::And;
+  g.numFanin = 4;
+  EXPECT_EQ(evalGate(g, {1, 1, 1, 1}), 1);
+  EXPECT_EQ(evalGate(g, {1, 1, 0, 1}), 0);
+  g.type = GateType::Nor;
+  g.numFanin = 3;
+  EXPECT_EQ(evalGate(g, {0, 0, 0, 0}), 1);
+  EXPECT_EQ(evalGate(g, {0, 1, 0, 0}), 0);
+}
+
+TEST(Gate, InvAndBufAndConsts) {
+  Gate g;
+  g.numFanin = 1;
+  g.type = GateType::Inv;
+  EXPECT_EQ(evalGate(g, {0, 0, 0, 0}), 1);
+  EXPECT_EQ(evalGate(g, {1, 0, 0, 0}), 0);
+  g.type = GateType::Buf;
+  EXPECT_EQ(evalGate(g, {1, 0, 0, 0}), 1);
+  g.numFanin = 0;
+  g.type = GateType::Const0;
+  EXPECT_EQ(evalGate(g, {0, 0, 0, 0}), 0);
+  g.type = GateType::Const1;
+  EXPECT_EQ(evalGate(g, {0, 0, 0, 0}), 1);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,84 @@
+// Higher-order ISW construction.
+
+#include <gtest/gtest.h>
+
+#include "crypto/present.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "sboxes/isw_any_order.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+class IswOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IswOrderTest, DecodesToPresentSbox) {
+  const int d = GetParam();
+  const auto sbox = makeIswSboxOfOrder(d);
+  EXPECT_TRUE(validate(sbox->netlist()).ok());
+  Prng rng(0x15c0 + static_cast<std::uint64_t>(d));
+  for (std::uint8_t plain = 0; plain < 16; ++plain) {
+    for (int trial = 0; trial < 32; ++trial) {
+      const auto in = sbox->encode(plain, rng);
+      const auto out = sbox->netlist().evaluateOutputs(in);
+      ASSERT_EQ(sbox->decode(out, in), kPresentSbox[plain])
+          << "d=" << d << " plain=" << int(plain);
+    }
+  }
+}
+
+TEST_P(IswOrderTest, InterfaceScalesWithOrder) {
+  const int d = GetParam();
+  const auto sbox = makeIswSboxOfOrder(d);
+  const int n = d + 1;
+  EXPECT_EQ(sbox->netlist().inputs().size(),
+            static_cast<std::size_t>(4 * n + iswGadgetRandomBits(d)));
+  EXPECT_EQ(sbox->netlist().outputs().size(), static_cast<std::size_t>(4 * n));
+  EXPECT_EQ(sbox->randomBits(), 4 * d * (d + 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, IswOrderTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(IswOrders, OrderOneMatchesTableIProfile) {
+  const auto sbox = makeIswSboxOfOrder(1);
+  const NetlistStats s = computeStats(sbox->netlist());
+  EXPECT_EQ(s.count(GateType::And), 16u);
+  EXPECT_EQ(s.count(GateType::Xor), 34u);
+  EXPECT_EQ(s.count(GateType::Inv), 7u);
+  EXPECT_EQ(s.totalGates, 57u);
+}
+
+TEST(IswOrders, AreaGrowsQuadratically) {
+  const double a1 = computeStats(makeIswSboxOfOrder(1)->netlist())
+                        .equivalentGates;
+  const double a2 = computeStats(makeIswSboxOfOrder(2)->netlist())
+                        .equivalentGates;
+  const double a4 = computeStats(makeIswSboxOfOrder(4)->netlist())
+                        .equivalentGates;
+  EXPECT_GT(a2, 1.8 * a1);
+  EXPECT_GT(a4, 2.2 * a2);
+}
+
+TEST(IswOrders, CorrectnessIndependentOfRandomness) {
+  // Zero out the gadget randomness: still functionally correct.
+  const auto sbox = makeIswSboxOfOrder(2);
+  Prng rng(3);
+  for (std::uint8_t plain = 0; plain < 16; ++plain) {
+    auto in = sbox->encode(plain, rng);
+    for (std::size_t i = in.size() - static_cast<std::size_t>(sbox->randomBits());
+         i < in.size(); ++i) {
+      in[i] = 0;
+    }
+    const auto out = sbox->netlist().evaluateOutputs(in);
+    EXPECT_EQ(sbox->decode(out, in), kPresentSbox[plain]);
+  }
+}
+
+TEST(IswOrders, RejectsInvalidOrders) {
+  EXPECT_THROW(makeIswSboxOfOrder(0), std::invalid_argument);
+  EXPECT_THROW(makeIswSboxOfOrder(9), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,122 @@
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+
+namespace lpa {
+namespace {
+
+Netlist fullAdder() {
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  const NetId x = b.input("b");
+  const NetId cin = b.input("cin");
+  const NetId axb = b.xorGate(a, x);
+  const NetId sum = b.xorGate(axb, cin);
+  const NetId c1 = b.andGate({a, x});
+  const NetId c2 = b.andGate({axb, cin});
+  const NetId cout = b.orGate({c1, c2});
+  b.output(sum, "sum");
+  b.output(cout, "cout");
+  return b.take();
+}
+
+TEST(Netlist, FullAdderTruthTable) {
+  const Netlist nl = fullAdder();
+  for (int x = 0; x < 8; ++x) {
+    const std::uint8_t a = static_cast<std::uint8_t>(x & 1);
+    const std::uint8_t b = static_cast<std::uint8_t>((x >> 1) & 1);
+    const std::uint8_t c = static_cast<std::uint8_t>((x >> 2) & 1);
+    const auto out = nl.evaluateOutputs({a, b, c});
+    EXPECT_EQ(out[0], (a ^ b ^ c)) << "x=" << x;
+    EXPECT_EQ(out[1], ((a & b) | (c & (a ^ b)))) << "x=" << x;
+  }
+}
+
+TEST(Netlist, InputAndOutputLookupByName) {
+  const Netlist nl = fullAdder();
+  EXPECT_EQ(nl.inputByName("a"), nl.inputs()[0]);
+  EXPECT_EQ(nl.outputByName("cout"), nl.outputs()[1]);
+  EXPECT_THROW(nl.inputByName("nope"), std::invalid_argument);
+  EXPECT_THROW(nl.outputByName("nope"), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsForwardReferencesAndBadFanin) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  EXPECT_THROW(nl.addGate(GateType::And, {a, 99}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(GateType::Inv, {a, a}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(GateType::Xor, {a}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(GateType::And, {a, a, a, a, a}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, FanoutCounts) {
+  const Netlist nl = fullAdder();
+  const auto& fo = nl.fanoutCounts();
+  // a feeds xor and and -> fanout 2; axb feeds sum-xor and c2-and -> 2.
+  EXPECT_EQ(fo[nl.inputByName("a")], 2u);
+  EXPECT_EQ(fo[nl.outputByName("sum")], 0u);
+}
+
+TEST(Netlist, DepthsAndCriticalPath) {
+  const Netlist nl = fullAdder();
+  // sum = xor(xor(a,b), cin) -> depth 2; cout = or(and, and(xor)) -> 3.
+  EXPECT_EQ(nl.criticalPathDepth(), 3u);
+  const auto d = nl.depths();
+  EXPECT_EQ(d[nl.outputByName("sum")], 2u);
+  EXPECT_EQ(d[nl.outputByName("cout")], 3u);
+  EXPECT_EQ(d[nl.inputByName("a")], 0u);
+}
+
+TEST(Netlist, EvaluateRejectsWrongArity) {
+  const Netlist nl = fullAdder();
+  EXPECT_THROW(nl.evaluate({0, 1}), std::invalid_argument);
+}
+
+TEST(NetlistStats, FullAdderCounts) {
+  const NetlistStats s = computeStats(fullAdder());
+  EXPECT_EQ(s.count(GateType::Xor), 2u);
+  EXPECT_EQ(s.count(GateType::And), 2u);
+  EXPECT_EQ(s.count(GateType::Or), 1u);
+  EXPECT_EQ(s.totalGates, 5u);
+  EXPECT_EQ(s.numInputs, 3u);
+  EXPECT_EQ(s.numOutputs, 2u);
+  EXPECT_DOUBLE_EQ(s.equivalentGates, 2 * 2.5 + 2 * 1.5 + 1.5);
+  EXPECT_EQ(s.delayLevels, 3u);
+}
+
+TEST(NetlistStats, TableFormatterMentionsEveryColumn) {
+  const NetlistStats s = computeStats(fullAdder());
+  const std::string table = formatStatsTable({{"FA", s}, {"FA2", s}});
+  EXPECT_NE(table.find("FA"), std::string::npos);
+  EXPECT_NE(table.find("Total Gates"), std::string::npos);
+  EXPECT_NE(table.find("Delay"), std::string::npos);
+}
+
+TEST(Validate, AcceptsWellFormedNetlist) {
+  EXPECT_TRUE(validate(fullAdder()).ok());
+}
+
+TEST(Validate, FlagsMissingOutputsAndUnusedInputs) {
+  Netlist nl;
+  nl.addInput("a");
+  const ValidationReport rep = validate(nl);
+  EXPECT_FALSE(rep.ok());
+}
+
+TEST(Validate, FlagsInputNotReachingOutputs) {
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  b.input("dangling");
+  b.output(b.inv(a), "y");
+  const ValidationReport rep = validate(b.take());
+  ASSERT_FALSE(rep.ok());
+  EXPECT_NE(rep.problems[0].find("dangling"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lpa

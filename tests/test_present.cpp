@@ -1,0 +1,148 @@
+#include "crypto/present.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int x : v) out.push_back(static_cast<std::uint8_t>(x));
+  return out;
+}
+
+TEST(PresentSbox, TableAndInverseAreConsistent) {
+  for (int x = 0; x < 16; ++x) {
+    EXPECT_EQ(kPresentSboxInv[kPresentSbox[x]], x);
+    EXPECT_EQ(kPresentSbox[kPresentSboxInv[x]], x);
+  }
+}
+
+TEST(PresentSbox, KnownValues) {
+  EXPECT_EQ(kPresentSbox[0x0], 0xC);
+  EXPECT_EQ(kPresentSbox[0x5], 0x0);
+  EXPECT_EQ(kPresentSbox[0xF], 0x2);
+}
+
+TEST(PresentPLayer, IsAPermutationAndInvolutiveWithInverse) {
+  std::array<bool, 64> seen{};
+  for (std::uint8_t i = 0; i < 64; ++i) {
+    const std::uint8_t p = presentPLayerBit(i);
+    EXPECT_LT(p, 64);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+  Prng rng(5);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t x = rng.next();
+    EXPECT_EQ(Present::pLayerInv(Present::pLayer(x)), x);
+    EXPECT_EQ(Present::pLayer(Present::pLayerInv(x)), x);
+  }
+}
+
+TEST(PresentPLayer, SpecExamples) {
+  // From the PRESENT paper's P-table: P(0)=0, P(1)=16, P(4)=1, P(63)=63.
+  EXPECT_EQ(presentPLayerBit(0), 0);
+  EXPECT_EQ(presentPLayerBit(1), 16);
+  EXPECT_EQ(presentPLayerBit(4), 1);
+  EXPECT_EQ(presentPLayerBit(63), 63);
+}
+
+TEST(PresentSboxLayer, InverseRoundtrips) {
+  Prng rng(6);
+  for (int trial = 0; trial < 32; ++trial) {
+    const std::uint64_t x = rng.next();
+    EXPECT_EQ(Present::sBoxLayerInv(Present::sBoxLayer(x)), x);
+  }
+}
+
+// Official PRESENT-80 test vectors (Bogdanov et al., CHES 2007).
+struct Vector80 {
+  std::uint64_t plain;
+  std::array<int, 10> key;
+  std::uint64_t cipher;
+};
+
+class Present80Vectors : public ::testing::TestWithParam<Vector80> {};
+
+TEST_P(Present80Vectors, EncryptAndDecrypt) {
+  const Vector80& v = GetParam();
+  std::vector<std::uint8_t> key;
+  for (int b : v.key) key.push_back(static_cast<std::uint8_t>(b));
+  const Present cipher(PresentKeySize::K80, key);
+  EXPECT_EQ(cipher.encrypt(v.plain), v.cipher);
+  EXPECT_EQ(cipher.decrypt(v.cipher), v.plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Official, Present80Vectors,
+    ::testing::Values(
+        Vector80{0x0000000000000000ULL,
+                 {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                 0x5579C1387B228445ULL},
+        Vector80{0x0000000000000000ULL,
+                 {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+                 0xE72C46C0F5945049ULL},
+        Vector80{0xFFFFFFFFFFFFFFFFULL,
+                 {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},
+                 0xA112FFC72F68417BULL},
+        Vector80{0xFFFFFFFFFFFFFFFFULL,
+                 {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+                 0x3333DCD3213210D2ULL}));
+
+TEST(Present, K80RoundKeysCount) {
+  const Present c(PresentKeySize::K80, bytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(c.roundKeys().size(), 32u);
+  EXPECT_EQ(c.roundKeys()[0], 0u);  // first round key is the key's top 64b
+}
+
+TEST(Present, K128EncryptDecryptRoundtrip) {
+  Prng rng(9);
+  std::vector<std::uint8_t> key(16);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.bits(8));
+  const Present c(PresentKeySize::K128, key);
+  for (int trial = 0; trial < 64; ++trial) {
+    const std::uint64_t p = rng.next();
+    EXPECT_EQ(c.decrypt(c.encrypt(p)), p);
+  }
+}
+
+TEST(Present, K128DiffersFromK80) {
+  const Present c80(PresentKeySize::K80,
+                    bytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  const Present c128(
+      PresentKeySize::K128,
+      bytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_NE(c80.encrypt(0), c128.encrypt(0));
+}
+
+TEST(Present, RejectsWrongKeyLengths) {
+  EXPECT_THROW(Present(PresentKeySize::K80, bytes({1, 2, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(Present(PresentKeySize::K128, bytes({1, 2, 3})),
+               std::invalid_argument);
+}
+
+TEST(Present, Round1AfterSboxMatchesManualComputation) {
+  const Present c(PresentKeySize::K80, bytes({0, 0, 0, 0, 0, 0, 0, 0, 0, 0}));
+  const std::uint64_t p = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(c.round1AfterSbox(p),
+            Present::sBoxLayer(p ^ c.roundKeys()[0]));
+}
+
+TEST(Present, EncryptionChangesWithEveryKeyByte) {
+  // Flipping any key byte must change the ciphertext (sanity of schedule).
+  std::vector<std::uint8_t> key(10, 0);
+  const Present base(PresentKeySize::K80, key);
+  const std::uint64_t c0 = base.encrypt(0);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    std::vector<std::uint8_t> k2 = key;
+    k2[i] ^= 0x80;
+    EXPECT_NE(Present(PresentKeySize::K80, k2).encrypt(0), c0) << i;
+  }
+}
+
+}  // namespace
+}  // namespace lpa

@@ -1,0 +1,335 @@
+// Functional and structural tests of the seven S-box implementations.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "crypto/present.h"
+#include "netlist/stats.h"
+#include "netlist/validate.h"
+#include "sboxes/masked_sbox.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+class SboxStyleTest : public ::testing::TestWithParam<SboxStyle> {};
+
+TEST_P(SboxStyleTest, NetlistIsWellFormed) {
+  const auto sbox = makeSbox(GetParam());
+  const ValidationReport rep = validate(sbox->netlist());
+  EXPECT_TRUE(rep.ok()) << (rep.problems.empty() ? "" : rep.problems[0]);
+}
+
+TEST_P(SboxStyleTest, DecodesToPresentSboxForAllPlainsAndRandomness) {
+  const auto sbox = makeSbox(GetParam());
+  Prng rng(0xF00D + static_cast<std::uint64_t>(GetParam()));
+  for (std::uint8_t plain = 0; plain < 16; ++plain) {
+    for (int trial = 0; trial < 64; ++trial) {
+      const std::vector<std::uint8_t> in = sbox->encode(plain, rng);
+      ASSERT_EQ(in.size(), sbox->netlist().inputs().size());
+      const std::vector<std::uint8_t> out =
+          sbox->netlist().evaluateOutputs(in);
+      EXPECT_EQ(sbox->decode(out, in), kPresentSbox[plain])
+          << sbox->name() << " plain=" << int(plain) << " trial=" << trial;
+    }
+  }
+}
+
+TEST_P(SboxStyleTest, EncodingUsesDeclaredRandomness) {
+  // With the same PRNG stream, two encodings of the same plain value must
+  // differ iff randomBits() > 0 (probabilistically; we allow a few draws).
+  const auto sbox = makeSbox(GetParam());
+  Prng rng(0xBEEF);
+  const auto a = sbox->encode(5, rng);
+  bool anyDifferent = false;
+  for (int trial = 0; trial < 16 && !anyDifferent; ++trial) {
+    anyDifferent = sbox->encode(5, rng) != a;
+  }
+  EXPECT_EQ(anyDifferent, sbox->randomBits() > 0) << sbox->name();
+}
+
+TEST_P(SboxStyleTest, StatsAreNonTrivial) {
+  const auto sbox = makeSbox(GetParam());
+  const NetlistStats s = computeStats(sbox->netlist());
+  EXPECT_GT(s.totalGates, 0u);
+  EXPECT_GT(s.equivalentGates, 0.0);
+  EXPECT_GT(s.delayLevels, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStyles, SboxStyleTest, ::testing::ValuesIn(allSboxStyles()),
+    [](const ::testing::TestParamInfo<SboxStyle>& info) {
+      std::string n{sboxStyleName(info.param)};
+      for (char& c : n) {
+        if (c == '-') c = '_';
+      }
+      return n;
+    });
+
+TEST(SboxRegistry, StylesAndNames) {
+  EXPECT_EQ(allSboxStyles().size(), 7u);
+  EXPECT_EQ(sboxStyleName(SboxStyle::RsmRom), "RSM-ROM");
+  EXPECT_EQ(sboxStyleName(SboxStyle::Lut), "Unprotected");
+}
+
+TEST(UnprotectedSboxes, NoRandomBitsAndDirectMapping) {
+  for (SboxStyle s : {SboxStyle::Lut, SboxStyle::Opt}) {
+    const auto sbox = makeSbox(s);
+    EXPECT_EQ(sbox->randomBits(), 0);
+    EXPECT_EQ(sbox->netlist().inputs().size(), 4u);
+    EXPECT_EQ(sbox->netlist().outputs().size(), 4u);
+  }
+}
+
+TEST(OptSbox, MatchesPaperTableI) {
+  const auto sbox = makeSbox(SboxStyle::Opt);
+  const NetlistStats s = computeStats(sbox->netlist());
+  EXPECT_EQ(s.count(GateType::Xor), 9u);
+  EXPECT_EQ(s.count(GateType::And), 2u);
+  EXPECT_EQ(s.count(GateType::Or), 2u);
+  EXPECT_EQ(s.count(GateType::Inv), 1u);
+  EXPECT_EQ(s.totalGates, 14u);
+}
+
+TEST(IswSbox, MatchesPaperTableIExactly) {
+  // Table I ISW column: 16 AND, 34 XOR, 7 INV, 57 gates, 4 random bits.
+  const auto sbox = makeSbox(SboxStyle::Isw);
+  const NetlistStats s = computeStats(sbox->netlist());
+  EXPECT_EQ(s.count(GateType::And), 16u);
+  EXPECT_EQ(s.count(GateType::Xor), 34u);
+  EXPECT_EQ(s.count(GateType::Inv), 7u);
+  EXPECT_EQ(s.totalGates, 57u);
+  EXPECT_EQ(sbox->randomBits(), 4);
+}
+
+TEST(IswSbox, SharesXorToSboxOutputEvenWithBiasedRandomness) {
+  // Correctness must not depend on the gadget randomness values.
+  const auto sbox = makeSbox(SboxStyle::Isw);
+  const Netlist& nl = sbox->netlist();
+  for (std::uint8_t plain = 0; plain < 16; ++plain) {
+    for (std::uint8_t mask = 0; mask < 16; ++mask) {
+      for (std::uint8_t r : {0x0, 0xF, 0x5}) {
+        std::vector<std::uint8_t> in;
+        for (int i = 0; i < 4; ++i) {
+          in.push_back(static_cast<std::uint8_t>((mask >> i) & 1u));
+        }
+        for (int i = 0; i < 4; ++i) {
+          in.push_back(
+              static_cast<std::uint8_t>(((plain ^ mask) >> i) & 1u));
+        }
+        for (int i = 0; i < 4; ++i) {
+          in.push_back(static_cast<std::uint8_t>((r >> i) & 1u));
+        }
+        const auto out = nl.evaluateOutputs(in);
+        EXPECT_EQ(sbox->decode(out, in), kPresentSbox[plain]);
+      }
+    }
+  }
+}
+
+TEST(GlutSbox, TwelveBitInterfaceAndMaskEquation) {
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  const Netlist& nl = sbox->netlist();
+  EXPECT_EQ(nl.inputs().size(), 12u);
+  EXPECT_EQ(sbox->randomBits(), 8);
+  // Y ^ MO == SBOX(A ^ MI) for a sweep of (A, MI, MO).
+  Prng rng(77);
+  for (int trial = 0; trial < 256; ++trial) {
+    const std::uint8_t a = rng.nibble();
+    const std::uint8_t mi = rng.nibble();
+    const std::uint8_t mo = rng.nibble();
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(static_cast<std::uint8_t>((a >> i) & 1u));
+    }
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(static_cast<std::uint8_t>((mi >> i) & 1u));
+    }
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(static_cast<std::uint8_t>((mo >> i) & 1u));
+    }
+    const auto out = nl.evaluateOutputs(in);
+    std::uint8_t y = 0;
+    for (int i = 0; i < 4; ++i) {
+      y |= static_cast<std::uint8_t>(out[static_cast<std::size_t>(i)] << i);
+    }
+    EXPECT_EQ(y ^ mo, kPresentSbox[a ^ mi]);
+  }
+}
+
+TEST(GlutSbox, UsesOnlyAndOrInvCells) {
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  for (const Gate& g : sbox->netlist().gates()) {
+    EXPECT_TRUE(g.type == GateType::Input || g.type == GateType::And ||
+                g.type == GateType::Or || g.type == GateType::Inv)
+        << gateTypeName(g.type);
+  }
+}
+
+TEST(RsmSbox, ImplementsGlutWithDerivedOutputMask) {
+  // RSM(A, MI) == GLUT(A, MI, (MI+1) mod 16), checked exhaustively.
+  const auto rsm = makeSbox(SboxStyle::Rsm);
+  const Netlist& nl = rsm->netlist();
+  EXPECT_EQ(nl.inputs().size(), 8u);
+  EXPECT_EQ(rsm->randomBits(), 4);
+  for (std::uint32_t x = 0; x < 256; ++x) {
+    const std::uint8_t a = static_cast<std::uint8_t>(x & 0xF);
+    const std::uint8_t mi = static_cast<std::uint8_t>(x >> 4);
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(static_cast<std::uint8_t>((a >> i) & 1u));
+    }
+    for (int i = 0; i < 4; ++i) {
+      in.push_back(static_cast<std::uint8_t>((mi >> i) & 1u));
+    }
+    const auto out = nl.evaluateOutputs(in);
+    std::uint8_t y = 0;
+    for (int i = 0; i < 4; ++i) {
+      y |= static_cast<std::uint8_t>(out[static_cast<std::size_t>(i)] << i);
+    }
+    EXPECT_EQ(y, kPresentSbox[a ^ mi] ^ ((mi + 1u) & 0xF))
+        << "a=" << int(a) << " mi=" << int(mi);
+  }
+}
+
+TEST(RsmRomSbox, OneHotRomWithLongSynchronizedPath) {
+  const auto rom = makeSbox(SboxStyle::RsmRom);
+  const NetlistStats s = computeStats(rom->netlist());
+  // ROM discipline: INV/NAND/NOR only (Table I shows no AND/OR/XOR cells).
+  EXPECT_EQ(s.count(GateType::And), 0u);
+  EXPECT_EQ(s.count(GateType::Or), 0u);
+  EXPECT_EQ(s.count(GateType::Xor), 0u);
+  EXPECT_GT(s.count(GateType::Nor), 400u);
+  EXPECT_GT(s.count(GateType::Nand), 200u);
+  EXPECT_GT(s.count(GateType::Inv), 250u);
+  // The ripple word-line planes dominate the critical path (Table I: 120
+  // levels vs <= 17 for every non-ROM style).
+  EXPECT_GT(s.delayLevels, 100u);
+}
+
+TEST(RsmRomSbox, MatchesRsmFunction) {
+  const auto rom = makeSbox(SboxStyle::RsmRom);
+  const Netlist& nl = rom->netlist();
+  for (std::uint32_t x = 0; x < 256; ++x) {
+    std::vector<std::uint8_t> in;
+    for (int i = 0; i < 8; ++i) {
+      in.push_back(static_cast<std::uint8_t>((x >> i) & 1u));
+    }
+    const auto out = nl.evaluateOutputs(in);
+    std::uint8_t y = 0;
+    for (int i = 0; i < 4; ++i) {
+      y |= static_cast<std::uint8_t>(out[static_cast<std::size_t>(i)] << i);
+    }
+    const std::uint8_t a = static_cast<std::uint8_t>(x & 0xF);
+    const std::uint8_t mi = static_cast<std::uint8_t>(x >> 4);
+    EXPECT_EQ(y, kPresentSbox[a ^ mi] ^ ((mi + 1u) & 0xF));
+  }
+}
+
+// Computes the set of primary-input indices in the transitive fanin cone of
+// a net.
+std::set<std::size_t> inputCone(const Netlist& nl, NetId net) {
+  std::set<std::size_t> cone;
+  std::vector<char> seen(nl.numGates(), 0);
+  std::vector<NetId> stack{net};
+  while (!stack.empty()) {
+    const NetId id = stack.back();
+    stack.pop_back();
+    if (seen[id]) continue;
+    seen[id] = 1;
+    const Gate& g = nl.gate(id);
+    if (g.type == GateType::Input) {
+      for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        if (nl.inputs()[i] == id) cone.insert(i);
+      }
+      continue;
+    }
+    for (int i = 0; i < g.numFanin; ++i) {
+      stack.push_back(g.fanin[static_cast<std::size_t>(i)]);
+    }
+  }
+  return cone;
+}
+
+TEST(TiSbox, NonCompletenessHoldsStructurally) {
+  // Output share i must not depend on share i of ANY input variable.
+  // Input ordering: share-major (s0_0..s0_3, s1_0.., ...); output ordering:
+  // bit-major with share minor (y0_0, y0_1, ...).
+  const auto ti = makeSbox(SboxStyle::Ti);
+  const Netlist& nl = ti->netlist();
+  ASSERT_EQ(nl.inputs().size(), 16u);
+  ASSERT_EQ(nl.outputs().size(), 16u);
+  for (int bit = 0; bit < 4; ++bit) {
+    for (int share = 0; share < 4; ++share) {
+      const NetId out = nl.outputs()[static_cast<std::size_t>(4 * bit + share)];
+      const std::set<std::size_t> cone = inputCone(nl, out);
+      for (std::size_t pi : cone) {
+        const int piShare = static_cast<int>(pi / 4);
+        EXPECT_NE(piShare, share)
+            << "output y" << bit << "_" << share
+            << " depends on input share " << piShare;
+      }
+    }
+  }
+}
+
+TEST(TiSbox, FourSharesTwelveRandomBits) {
+  const auto ti = makeSbox(SboxStyle::Ti);
+  EXPECT_EQ(ti->randomBits(), 12);
+  const NetlistStats s = computeStats(ti->netlist());
+  // Paper scale: hundreds of ANDs, hundreds of XORs, a couple of XNORs.
+  EXPECT_GT(s.count(GateType::And), 200u);
+  EXPECT_GT(s.count(GateType::Xor), 200u);
+  EXPECT_EQ(s.count(GateType::Xnor), 2u);
+  EXPECT_EQ(s.count(GateType::Or), 0u);
+}
+
+TEST(TiSbox, CorrectForEveryPlainAndExhaustiveSharePatterns) {
+  const auto ti = makeSbox(SboxStyle::Ti);
+  const Netlist& nl = ti->netlist();
+  Prng rng(31337);
+  for (std::uint8_t plain = 0; plain < 16; ++plain) {
+    for (int trial = 0; trial < 128; ++trial) {
+      const std::uint8_t m1 = rng.nibble();
+      const std::uint8_t m2 = rng.nibble();
+      const std::uint8_t m3 = rng.nibble();
+      std::vector<std::uint8_t> in;
+      const std::uint8_t s0 = static_cast<std::uint8_t>(plain ^ m1 ^ m2 ^ m3);
+      for (std::uint8_t nib : {s0, m1, m2, m3}) {
+        for (int i = 0; i < 4; ++i) {
+          in.push_back(static_cast<std::uint8_t>((nib >> i) & 1u));
+        }
+      }
+      const auto out = nl.evaluateOutputs(in);
+      EXPECT_EQ(ti->decode(out, in), kPresentSbox[plain]);
+    }
+  }
+}
+
+TEST(AllSboxes, TableIGateOrderingHolds) {
+  // The qualitative area ordering of Table I: OPT < LUT < ISW < RSM, with
+  // GLUT and TI the two largest netlists. (In the paper TI > GLUT; our
+  // monolithic GLUT synthesis is bulkier than the authors', so only the
+  // "largest two" property is asserted -- see EXPERIMENTS.md.)
+  auto ge = [](SboxStyle s) {
+    return computeStats(makeSbox(s)->netlist()).equivalentGates;
+  };
+  const double lut = ge(SboxStyle::Lut);
+  const double opt = ge(SboxStyle::Opt);
+  const double glut = ge(SboxStyle::Glut);
+  const double rsm = ge(SboxStyle::Rsm);
+  const double rom = ge(SboxStyle::RsmRom);
+  const double isw = ge(SboxStyle::Isw);
+  const double ti = ge(SboxStyle::Ti);
+  EXPECT_LT(opt, lut);
+  EXPECT_LT(lut, isw);
+  EXPECT_LT(isw, rsm);
+  EXPECT_LT(rsm, glut);
+  EXPECT_LT(rsm, ti);
+  EXPECT_GT(glut, rom);
+  EXPECT_GT(ti, rom);
+}
+
+}  // namespace
+}  // namespace lpa

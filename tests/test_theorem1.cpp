@@ -1,0 +1,75 @@
+// Theorem 1 (HW-parity leak of Boolean masking) and second-order TVLA.
+
+#include <gtest/gtest.h>
+
+#include "analysis/theorem1.h"
+#include "analysis/tvla.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+class ParityLeakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParityLeakTest, ParityAlwaysEqualsSecret) {
+  Prng rng(100 + static_cast<std::uint64_t>(GetParam()));
+  const ParityLeakResult res =
+      checkHammingParityLeak(GetParam(), 5000, rng);
+  EXPECT_EQ(res.order, GetParam());
+  EXPECT_EQ(res.trials, 5000u);
+  // Theorem 1: LSB(wH(shares)) == secret, for EVERY masking order.
+  EXPECT_DOUBLE_EQ(res.matchRate(), 1.0);
+}
+
+TEST_P(ParityLeakTest, MeanHammingWeightIsFirstOrderClean) {
+  if (GetParam() == 0) GTEST_SKIP() << "unmasked: HW equals the secret";
+  Prng rng(200 + static_cast<std::uint64_t>(GetParam()));
+  const double rho = hammingWeightCorrelation(GetParam(), 20000, rng);
+  EXPECT_LT(std::abs(rho), 0.05)
+      << "masked mean HW must not correlate with the secret";
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ParityLeakTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+TEST(Theorem1, RejectsSillyOrders) {
+  Prng rng(1);
+  EXPECT_THROW(checkHammingParityLeak(-1, 10, rng), std::invalid_argument);
+  EXPECT_THROW(checkHammingParityLeak(31, 10, rng), std::invalid_argument);
+}
+
+TEST(SecondOrderTvla, CenteredSquaresPreserveShape) {
+  TraceSet ts(2);
+  ts.add(0, {1.0, 5.0});
+  ts.add(1, {3.0, 5.0});
+  const TraceSet sq = centeredSquares(ts);
+  EXPECT_EQ(sq.size(), 2u);
+  EXPECT_EQ(sq.numSamples(), 2u);
+  // Mean of sample 0 is 2 -> squares are 1 and 1; sample 1 constant -> 0.
+  EXPECT_DOUBLE_EQ(sq.trace(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(sq.trace(1)[0], 1.0);
+  EXPECT_DOUBLE_EQ(sq.trace(0)[1], 0.0);
+  EXPECT_EQ(sq.label(1), 1);
+}
+
+TEST(SecondOrderTvla, DetectsVarianceLeakInvisibleToFirstOrder) {
+  // Fixed class: samples ~ +/-2 (mean 0, variance 4); random classes:
+  // samples ~ +/-1 (mean 0, variance 1). First-order t sees nothing;
+  // second-order t must fire.
+  Prng rng(7);
+  TraceSet ts(4);
+  for (int i = 0; i < 600; ++i) {
+    const std::uint8_t cls = static_cast<std::uint8_t>(i % 16);
+    const double amp = cls == 0 ? 2.0 : 1.0;
+    std::vector<double> trace(4);
+    for (double& v : trace) v = rng.bit() ? amp : -amp;
+    ts.add(cls, std::move(trace));
+  }
+  const auto t1 = fixedVsRandomT(ts, 0);
+  const auto t2 = secondOrderFixedVsRandomT(ts, 0);
+  EXPECT_FALSE(tvlaFails(t1)) << "first-order test must stay blind";
+  EXPECT_TRUE(tvlaFails(t2)) << "second-order test must detect it";
+}
+
+}  // namespace
+}  // namespace lpa

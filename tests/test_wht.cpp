@@ -1,0 +1,117 @@
+#include "core/wht.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+TEST(Fwht, RejectsNonPowerOfTwo) {
+  std::vector<double> v(3, 0.0);
+  EXPECT_THROW(fwht(v), std::invalid_argument);
+  std::vector<double> empty;
+  EXPECT_THROW(fwht(empty), std::invalid_argument);
+}
+
+TEST(Fwht, DeltaFunctionTransformsToConstantRow) {
+  std::vector<double> v(8, 0.0);
+  v[0] = 1.0;
+  fwht(v);
+  for (double x : v) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Fwht, MatchesDirectDefinition) {
+  Prng rng(17);
+  std::vector<double> f(16);
+  for (double& x : f) x = rng.uniform01() - 0.5;
+  std::vector<double> fast = f;
+  fwht(fast);
+  for (std::uint32_t u = 0; u < 16; ++u) {
+    double direct = 0.0;
+    for (std::uint32_t t = 0; t < 16; ++t) {
+      direct += f[t] * (std::popcount(u & t) % 2 == 0 ? 1.0 : -1.0);
+    }
+    EXPECT_NEAR(fast[u], direct, 1e-12);
+  }
+}
+
+TEST(Wht, OrthonormalCoefficientsAreAnInvolution) {
+  Prng rng(19);
+  std::vector<double> f(32);
+  for (double& x : f) x = rng.uniform01();
+  const auto a = whtCoefficients(f);
+  const auto back = whtInverse(a);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(back[i], f[i], 1e-12);
+  }
+}
+
+TEST(Wht, ParsevalIdentityHolds) {
+  // Lemma 1 of the paper: sum_t f(t)^2 == sum_u a_u^2.
+  Prng rng(23);
+  std::array<double, 16> f{};
+  for (double& x : f) x = 2.0 * rng.uniform01() - 1.0;
+  const auto a = whtCoefficients16(f);
+  double lhs = 0.0, rhs = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    lhs += f[static_cast<std::size_t>(i)] * f[static_cast<std::size_t>(i)];
+    rhs += a[static_cast<std::size_t>(i)] * a[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+}
+
+TEST(Wht, VarianceDecomposition) {
+  // sum_{u != 0} a_u^2 == sum_t f^2/?? -- in the paper's normalization:
+  // variance over the 16 classes times 16 equals the nonzero-coefficient
+  // energy: sum_{u!=0} a_u^2 = sum_t f(t)^2 - (sum_t f(t))^2 / 16.
+  Prng rng(29);
+  std::array<double, 16> f{};
+  for (double& x : f) x = rng.uniform01();
+  const auto a = whtCoefficients16(f);
+  double nonzero = 0.0;
+  for (int u = 1; u < 16; ++u) {
+    nonzero += a[static_cast<std::size_t>(u)] * a[static_cast<std::size_t>(u)];
+  }
+  double sum = 0.0, sum2 = 0.0;
+  for (double x : f) {
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(nonzero, sum2 - sum * sum / 16.0, 1e-12);
+}
+
+TEST(Wht, SingleBitLeakageLandsOnWeightOneCoefficient) {
+  // f(t) = bit2(t): a_u must be nonzero only for u = 0 and u = 0b0100.
+  std::array<double, 16> f{};
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    f[t] = static_cast<double>((t >> 2) & 1u);
+  }
+  const auto a = whtCoefficients16(f);
+  for (std::uint32_t u = 0; u < 16; ++u) {
+    if (u == 0 || u == 4) {
+      EXPECT_GT(std::abs(a[u]), 0.5);
+    } else {
+      EXPECT_NEAR(a[u], 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Wht, PairInteractionLandsOnWeightTwoCoefficient) {
+  // f(t) = bit1(t) AND bit2(t) has support on u in {0, 2, 4, 6}; the u=6
+  // component is the paper's "glitch between bits 1 and 2" signature.
+  std::array<double, 16> f{};
+  for (std::uint32_t t = 0; t < 16; ++t) {
+    f[t] = static_cast<double>(((t >> 1) & 1u) & ((t >> 2) & 1u));
+  }
+  const auto a = whtCoefficients16(f);
+  EXPECT_GT(std::abs(a[6]), 0.4);
+  EXPECT_NEAR(a[1], 0.0, 1e-12);
+  EXPECT_NEAR(a[8], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lpa
