@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_bti.dir/bench_fig1_bti.cpp.o"
+  "CMakeFiles/bench_fig1_bti.dir/bench_fig1_bti.cpp.o.d"
+  "bench_fig1_bti"
+  "bench_fig1_bti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_bti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

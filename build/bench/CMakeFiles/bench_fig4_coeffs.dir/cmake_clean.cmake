@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_coeffs.dir/bench_fig4_coeffs.cpp.o"
+  "CMakeFiles/bench_fig4_coeffs.dir/bench_fig4_coeffs.cpp.o.d"
+  "bench_fig4_coeffs"
+  "bench_fig4_coeffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_coeffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_total_leakage.dir/bench_fig7_total_leakage.cpp.o"
+  "CMakeFiles/bench_fig7_total_leakage.dir/bench_fig7_total_leakage.cpp.o.d"
+  "bench_fig7_total_leakage"
+  "bench_fig7_total_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_total_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

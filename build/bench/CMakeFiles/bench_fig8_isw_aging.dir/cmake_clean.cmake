@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_isw_aging.dir/bench_fig8_isw_aging.cpp.o"
+  "CMakeFiles/bench_fig8_isw_aging.dir/bench_fig8_isw_aging.cpp.o.d"
+  "bench_fig8_isw_aging"
+  "bench_fig8_isw_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_isw_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_isw_orders.dir/bench_isw_orders.cpp.o"
+  "CMakeFiles/bench_isw_orders.dir/bench_isw_orders.cpp.o.d"
+  "bench_isw_orders"
+  "bench_isw_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_isw_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_gadget.dir/custom_gadget.cpp.o"
+  "CMakeFiles/custom_gadget.dir/custom_gadget.cpp.o.d"
+  "custom_gadget"
+  "custom_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_netlists.dir/export_netlists.cpp.o"
+  "CMakeFiles/export_netlists.dir/export_netlists.cpp.o.d"
+  "export_netlists"
+  "export_netlists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_netlists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

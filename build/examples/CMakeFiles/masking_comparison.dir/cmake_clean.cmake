@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masking_comparison.dir/masking_comparison.cpp.o"
+  "CMakeFiles/masking_comparison.dir/masking_comparison.cpp.o.d"
+  "masking_comparison"
+  "masking_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masking_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/present_round1.dir/present_round1.cpp.o"
+  "CMakeFiles/present_round1.dir/present_round1.cpp.o.d"
+  "present_round1"
+  "present_round1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/present_round1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

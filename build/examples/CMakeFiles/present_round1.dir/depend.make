@@ -1,0 +1,2 @@
+# Empty dependencies file for present_round1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem1_parity.dir/theorem1_parity.cpp.o"
+  "CMakeFiles/theorem1_parity.dir/theorem1_parity.cpp.o.d"
+  "theorem1_parity"
+  "theorem1_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem1_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aging/aging_model.cpp" "src/CMakeFiles/lpa.dir/aging/aging_model.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/aging/aging_model.cpp.o.d"
+  "/root/repo/src/aging/bti.cpp" "src/CMakeFiles/lpa.dir/aging/bti.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/aging/bti.cpp.o.d"
+  "/root/repo/src/aging/hci.cpp" "src/CMakeFiles/lpa.dir/aging/hci.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/aging/hci.cpp.o.d"
+  "/root/repo/src/aging/stress.cpp" "src/CMakeFiles/lpa.dir/aging/stress.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/aging/stress.cpp.o.d"
+  "/root/repo/src/analysis/cpa.cpp" "src/CMakeFiles/lpa.dir/analysis/cpa.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/analysis/cpa.cpp.o.d"
+  "/root/repo/src/analysis/theorem1.cpp" "src/CMakeFiles/lpa.dir/analysis/theorem1.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/analysis/theorem1.cpp.o.d"
+  "/root/repo/src/analysis/tvla.cpp" "src/CMakeFiles/lpa.dir/analysis/tvla.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/analysis/tvla.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/lpa.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/leakage.cpp" "src/CMakeFiles/lpa.dir/core/leakage.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/core/leakage.cpp.o.d"
+  "/root/repo/src/core/wht.cpp" "src/CMakeFiles/lpa.dir/core/wht.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/core/wht.cpp.o.d"
+  "/root/repo/src/crypto/present.cpp" "src/CMakeFiles/lpa.dir/crypto/present.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/crypto/present.cpp.o.d"
+  "/root/repo/src/datapath/round1.cpp" "src/CMakeFiles/lpa.dir/datapath/round1.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/datapath/round1.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/lpa.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/compose.cpp" "src/CMakeFiles/lpa.dir/netlist/compose.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/compose.cpp.o.d"
+  "/root/repo/src/netlist/gate.cpp" "src/CMakeFiles/lpa.dir/netlist/gate.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/gate.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/lpa.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/stats.cpp" "src/CMakeFiles/lpa.dir/netlist/stats.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/stats.cpp.o.d"
+  "/root/repo/src/netlist/validate.cpp" "src/CMakeFiles/lpa.dir/netlist/validate.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/validate.cpp.o.d"
+  "/root/repo/src/netlist/verilog.cpp" "src/CMakeFiles/lpa.dir/netlist/verilog.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/netlist/verilog.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/lpa.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/sboxes/encoding.cpp" "src/CMakeFiles/lpa.dir/sboxes/encoding.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/encoding.cpp.o.d"
+  "/root/repo/src/sboxes/glut_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/glut_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/glut_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/isw_any_order.cpp" "src/CMakeFiles/lpa.dir/sboxes/isw_any_order.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/isw_any_order.cpp.o.d"
+  "/root/repo/src/sboxes/isw_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/isw_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/isw_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/lut_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/lut_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/lut_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/masked_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/masked_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/masked_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/opt_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/opt_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/opt_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/rsm_rom_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/rsm_rom_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/rsm_rom_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/rsm_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/rsm_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/rsm_sbox.cpp.o.d"
+  "/root/repo/src/sboxes/ti_sbox.cpp" "src/CMakeFiles/lpa.dir/sboxes/ti_sbox.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sboxes/ti_sbox.cpp.o.d"
+  "/root/repo/src/sim/delay_model.cpp" "src/CMakeFiles/lpa.dir/sim/delay_model.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sim/delay_model.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/lpa.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/CMakeFiles/lpa.dir/sim/vcd.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sim/vcd.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/CMakeFiles/lpa.dir/sim/waveform.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/sim/waveform.cpp.o.d"
+  "/root/repo/src/synth/anf.cpp" "src/CMakeFiles/lpa.dir/synth/anf.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/anf.cpp.o.d"
+  "/root/repo/src/synth/cells.cpp" "src/CMakeFiles/lpa.dir/synth/cells.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/cells.cpp.o.d"
+  "/root/repo/src/synth/decoder.cpp" "src/CMakeFiles/lpa.dir/synth/decoder.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/decoder.cpp.o.d"
+  "/root/repo/src/synth/mapper.cpp" "src/CMakeFiles/lpa.dir/synth/mapper.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/mapper.cpp.o.d"
+  "/root/repo/src/synth/qm.cpp" "src/CMakeFiles/lpa.dir/synth/qm.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/qm.cpp.o.d"
+  "/root/repo/src/synth/slp.cpp" "src/CMakeFiles/lpa.dir/synth/slp.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/slp.cpp.o.d"
+  "/root/repo/src/synth/truthtable.cpp" "src/CMakeFiles/lpa.dir/synth/truthtable.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/synth/truthtable.cpp.o.d"
+  "/root/repo/src/trace/acquisition.cpp" "src/CMakeFiles/lpa.dir/trace/acquisition.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/trace/acquisition.cpp.o.d"
+  "/root/repo/src/trace/trace_set.cpp" "src/CMakeFiles/lpa.dir/trace/trace_set.cpp.o" "gcc" "src/CMakeFiles/lpa.dir/trace/trace_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aging.cpp" "tests/CMakeFiles/lpa_tests.dir/test_aging.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_aging.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/lpa_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_builder.cpp" "tests/CMakeFiles/lpa_tests.dir/test_builder.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_builder.cpp.o.d"
+  "/root/repo/tests/test_compose_round1.cpp" "tests/CMakeFiles/lpa_tests.dir/test_compose_round1.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_compose_round1.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/lpa_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_export.cpp" "tests/CMakeFiles/lpa_tests.dir/test_export.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_export.cpp.o.d"
+  "/root/repo/tests/test_gate.cpp" "tests/CMakeFiles/lpa_tests.dir/test_gate.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_gate.cpp.o.d"
+  "/root/repo/tests/test_isw_orders.cpp" "tests/CMakeFiles/lpa_tests.dir/test_isw_orders.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_isw_orders.cpp.o.d"
+  "/root/repo/tests/test_leakage.cpp" "tests/CMakeFiles/lpa_tests.dir/test_leakage.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_leakage.cpp.o.d"
+  "/root/repo/tests/test_netlist.cpp" "tests/CMakeFiles/lpa_tests.dir/test_netlist.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_netlist.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/lpa_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_present.cpp" "tests/CMakeFiles/lpa_tests.dir/test_present.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_present.cpp.o.d"
+  "/root/repo/tests/test_sboxes.cpp" "tests/CMakeFiles/lpa_tests.dir/test_sboxes.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_sboxes.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/lpa_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_slp.cpp" "tests/CMakeFiles/lpa_tests.dir/test_slp.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_slp.cpp.o.d"
+  "/root/repo/tests/test_synth.cpp" "tests/CMakeFiles/lpa_tests.dir/test_synth.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_synth.cpp.o.d"
+  "/root/repo/tests/test_theorem1.cpp" "tests/CMakeFiles/lpa_tests.dir/test_theorem1.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_theorem1.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/lpa_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_wht.cpp" "tests/CMakeFiles/lpa_tests.dir/test_wht.cpp.o" "gcc" "tests/CMakeFiles/lpa_tests.dir/test_wht.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
