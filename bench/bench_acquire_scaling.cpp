@@ -1,0 +1,76 @@
+// Thread-scaling bench for the parallel acquisition engine.
+//
+// Acquires the paper's balanced GLUT dataset at 1/2/4/hw worker threads,
+// reports traces/sec and speedup over the sequential baseline, and verifies
+// on the fly that every thread count produced the bit-identical TraceSet
+// (the determinism contract of trace/acquisition.h).
+//
+// Usage: bench_acquire_scaling [tracesPerClass] (default 64 = 1024 traces)
+
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace {
+
+/// Order-sensitive digest of a trace set (labels + samples).
+double digest(const lpa::TraceSet& ts) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    d += static_cast<double>(ts.label(i)) * static_cast<double>(i + 1);
+    for (std::uint32_t s = 0; s < ts.numSamples(); ++s) {
+      d += ts.trace(i)[s] * static_cast<double>((i + s) % 97 + 1);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lpa;
+  const std::uint32_t tracesPerClass =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+
+  bench::header("Acquisition thread-scaling (GLUT, " +
+                    std::to_string(16 * tracesPerClass) + " traces)",
+                "the Fig. 5 protocol");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::uint32_t> counts = {1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+  std::printf("hardware_concurrency = %u\n\n", hw);
+
+  ExperimentConfig cfg;
+  cfg.acquisition.tracesPerClass = tracesPerClass;
+  SboxExperiment exp(SboxStyle::Glut, cfg);
+
+  std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds",
+              "traces/sec", "speedup", "bit-ident");
+  double baseline = 0.0;
+  double refDigest = 0.0;
+  bool allIdentical = true;
+  const double n = 16.0 * tracesPerClass;
+  for (std::uint32_t t : counts) {
+    exp.setNumThreads(t);
+    TraceSet ts(1);
+    const double secs =
+        bench::bestOf(3, [&] { ts = exp.acquireAt(0.0); });
+    const double dig = digest(ts);
+    if (t == 1) {
+      baseline = secs;
+      refDigest = dig;
+    }
+    const bool same = dig == refDigest;
+    allIdentical = allIdentical && same;
+    std::printf("%8u %12.4f %12.0f %9.2fx %12s\n", t, secs, n / secs,
+                baseline / secs, same ? "yes" : "NO");
+  }
+  std::printf("\n%s\n", allIdentical
+                            ? "determinism contract held for every count"
+                            : "DETERMINISM VIOLATION — results differ!");
+  return allIdentical ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 // one table or figure of the paper and prints it as aligned text (and the
 // figure benches additionally emit CSV-ish rows easy to plot).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -10,6 +12,34 @@
 #include "core/experiment.h"
 
 namespace lpa::bench {
+
+/// Minimal wall-clock stopwatch for throughput reporting.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Times `fn()` and returns {result of last run, seconds of best run}.
+/// Runs `reps` times and keeps the fastest (standard bench practice).
+template <typename Fn>
+double bestOf(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
 
 inline void header(const std::string& what, const std::string& paperRef) {
   std::printf("================================================================\n");

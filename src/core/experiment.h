@@ -17,6 +17,9 @@
 namespace lpa {
 
 struct ExperimentConfig {
+  /// `acquisition.numThreads` is the parallelism knob: 0 = hardware
+  /// concurrency, 1 = the sequential loop; every value yields bit-identical
+  /// traces (see the determinism contract in trace/acquisition.h).
   AcquisitionConfig acquisition;
   PowerOptions power;
   DelayOptions delay;
@@ -52,8 +55,13 @@ class SboxExperiment {
   const StressProfile& stressProfile();
 
   /// Collects the paper's 1024-trace balanced dataset with the device aged
-  /// by `months` (0 = fresh).
+  /// by `months` (0 = fresh). Runs on `acquisition.numThreads` workers;
+  /// the result is bit-identical for every thread count.
   TraceSet acquireAt(double months);
+
+  /// Re-points the parallelism knob without rebuilding netlists or models
+  /// (lets benches sweep thread counts on one device instance).
+  void setNumThreads(std::uint32_t n) { cfg_.acquisition.numThreads = n; }
 
   /// Acquire + spectral decomposition in one step. `Debiased` subtracts the
   /// mask-sampling noise floor (recommended for cross-style comparisons).

@@ -24,6 +24,15 @@ struct DelayOptions {
 /// Base (unloaded, fresh) delay in picoseconds of a cell.
 double baseDelayPs(GateType t, int fanin);
 
+/// Thread-safety / sharing contract: a DelayModel is rolled once per device
+/// instance (the jitter draw in the constructor) and then shared by
+/// reference among all EventSim clones of a worker pool — cloning a
+/// simulator must NOT re-roll jitter, or the workers would simulate
+/// different physical devices and break the acquisition determinism
+/// contract (trace/acquisition.h). All accessors are const and safe to call
+/// concurrently; the mutators (setAgingFactors/clearAging) may only run
+/// while no simulation is in flight (SboxExperiment ages the device
+/// strictly between acquisitions).
 class DelayModel {
  public:
   DelayModel(const Netlist& nl, const DelayOptions& opts = {});

@@ -1,5 +1,6 @@
 #include "sim/event_sim.h"
 
+#include <algorithm>
 #include <queue>
 #include <stdexcept>
 
@@ -41,6 +42,19 @@ EventSim::EventSim(const Netlist& nl, const DelayModel& delays,
   state_.assign(nl.numGates(), 0);
   pending_.assign(nl.numGates(), {});
   lastCommitPs_.assign(nl.numGates(), -1e30);
+}
+
+EventSim EventSim::clone() const {
+  EventSim copy = *this;  // shares nl_/delays_, duplicates the fanout map
+  copy.reset();
+  return copy;
+}
+
+void EventSim::reset() {
+  std::fill(state_.begin(), state_.end(), 0);
+  for (Pending& p : pending_) p.active = false;
+  std::fill(lastCommitPs_.begin(), lastCommitPs_.end(), -1e30);
+  seqCounter_ = 0;
 }
 
 void EventSim::settle(const std::vector<std::uint8_t>& inputValues) {

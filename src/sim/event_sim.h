@@ -39,6 +39,18 @@ class EventSim {
   EventSim(const Netlist& nl, const DelayModel& delays,
            const SimOptions& options);
 
+  /// Cheap copy for worker pools: the clone references the *same* netlist
+  /// and DelayModel (per-instance process jitter is shared, not re-rolled —
+  /// the workers simulate the same physical device) and starts from fresh
+  /// dynamic state. The referenced models must outlive the clone and stay
+  /// unmodified while any clone is running (they are read-only during
+  /// simulation, so concurrent clones are safe).
+  EventSim clone() const;
+
+  /// Clears dynamic state (settled values, pending events, commit times),
+  /// as if freshly constructed.
+  void reset();
+
   /// Establishes a steady state with the given inputs (inputs() order).
   void settle(const std::vector<std::uint8_t>& inputValues);
 

@@ -1,57 +1,127 @@
 #include "trace/acquisition.h"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "crypto/present.h"
 
 namespace lpa {
 
+namespace {
+
+/// Stream index of the schedule shuffle; far outside any trace index.
+constexpr std::uint64_t kScheduleStream = ~0ULL;
+
+std::uint32_t resolveThreads(std::uint32_t requested, std::size_t work) {
+  std::uint32_t t = requested != 0 ? requested
+                                   : std::max(1u, std::thread::hardware_concurrency());
+  if (work == 0) work = 1;
+  return static_cast<std::uint32_t>(
+      std::min<std::size_t>(t, work));
+}
+
+/// Runs `body(sim, i, shard)` for every trace index in [0, n), sharded over
+/// `threads` workers in contiguous index blocks, and concatenates the
+/// per-worker shards in index order. `body` must depend only on the trace
+/// index (the determinism contract), which is what makes the sharding
+/// invisible in the result.
+template <typename TraceBody>
+TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
+                        std::size_t n, std::uint32_t threads,
+                        const TraceBody& body) {
+  TraceSet traces(numSamples);
+  traces.reserve(n);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(sim, i, traces);
+    return traces;
+  }
+
+  std::vector<TraceSet> shards(threads, TraceSet(numSamples));
+  std::vector<std::exception_ptr> errors(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    pool.emplace_back([&, w] {
+      const std::size_t begin = n * w / threads;
+      const std::size_t end = n * (w + 1) / threads;
+      shards[w].reserve(end - begin);
+      try {
+        EventSim worker = sim.clone();
+        for (std::size_t i = begin; i < end; ++i) {
+          body(worker, i, shards[w]);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const TraceSet& shard : shards) traces.append(shard);
+  return traces;
+}
+
+}  // namespace
+
 TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
                  const PowerModel& power, const AcquisitionConfig& cfg) {
-  Prng rng(cfg.seed);
-  // Balanced, shuffled schedule of final classes.
+  // Balanced, shuffled schedule of final classes, from a dedicated stream
+  // so trace streams never alias it.
+  Prng srng(deriveStreamSeed(cfg.seed, kScheduleStream));
   std::vector<std::uint8_t> schedule;
   schedule.reserve(16u * cfg.tracesPerClass);
   for (std::uint32_t r = 0; r < cfg.tracesPerClass; ++r) {
     for (std::uint8_t c = 0; c < 16; ++c) schedule.push_back(c);
   }
   for (std::size_t i = schedule.size(); i > 1; --i) {
-    std::swap(schedule[i - 1], schedule[rng.below(static_cast<std::uint32_t>(i))]);
+    std::swap(schedule[i - 1],
+              schedule[srng.below(static_cast<std::uint32_t>(i))]);
   }
 
-  TraceSet traces(power.options().numSamples);
-  for (const std::uint8_t cls : schedule) {
-    const std::vector<std::uint8_t> init =
-        sbox.encode(cfg.initialValue, rng);
-    sim.settle(init);
+  const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
+    const std::uint8_t cls = schedule[i];
+    // All randomness of trace i — masks, gadget bits, noise seed — comes
+    // from this stream and hence depends only on (cfg.seed, i).
+    Prng rng(deriveStreamSeed(cfg.seed, i));
+    const std::vector<std::uint8_t> init = sbox.encode(cfg.initialValue, rng);
+    worker.settle(init);
     const std::vector<std::uint8_t> fin = sbox.encode(cls, rng);
-    const std::vector<Transition> transitions = sim.run(fin);
+    const std::vector<Transition> transitions = worker.run(fin);
     // Functional sanity: the netlist must produce the right unmasked value.
-    const std::uint8_t decoded = sbox.decode(sim.outputValues(), fin);
+    const std::uint8_t decoded = sbox.decode(worker.outputValues(), fin);
     if (decoded != kPresentSbox[cls]) {
       throw std::logic_error("acquisition: decode mismatch");
     }
-    traces.add(cls, power.sample(transitions, rng.next() | 1ULL));
-  }
-  return traces;
+    out.add(cls, power.sample(transitions, rng.next() | 1ULL));
+  };
+
+  return shardedAcquire(sim, power.options().numSamples, schedule.size(),
+                        resolveThreads(cfg.numThreads, schedule.size()),
+                        body);
 }
 
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
                       const PowerModel& power, std::uint8_t key,
-                      std::uint32_t numTraces, std::uint64_t seed) {
-  Prng rng(seed);
-  TraceSet traces(power.options().numSamples);
-  for (std::uint32_t i = 0; i < numTraces; ++i) {
+                      std::uint32_t numTraces, std::uint64_t seed,
+                      std::uint32_t numThreads) {
+  const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
+    Prng rng(deriveStreamSeed(seed, i));
     const std::uint8_t plain = rng.nibble();
     const std::vector<std::uint8_t> init = sbox.encode(0, rng);
-    sim.settle(init);
+    worker.settle(init);
     const std::vector<std::uint8_t> fin =
         sbox.encode(static_cast<std::uint8_t>(plain ^ key), rng);
-    const std::vector<Transition> transitions = sim.run(fin);
-    traces.add(plain, power.sample(transitions, rng.next() | 1ULL));
-  }
-  return traces;
+    const std::vector<Transition> transitions = worker.run(fin);
+    out.add(plain, power.sample(transitions, rng.next() | 1ULL));
+  };
+
+  return shardedAcquire(sim, power.options().numSamples, numTraces,
+                        resolveThreads(numThreads, numTraces), body);
 }
 
 }  // namespace lpa

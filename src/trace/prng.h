@@ -1,10 +1,33 @@
 #pragma once
 // Deterministic PRNG (xoshiro256**) used wherever the paper draws random
 // masks or plaintexts. Seeded experiments are exactly reproducible.
+//
+// Parallel acquisition relies on *derived streams*: instead of one sequential
+// generator shared by all traces, each trace i gets its own
+// `Prng(deriveStreamSeed(seed, i))`. The SplitMix64 finalizer provides full
+// avalanche, so adjacent stream indices yield statistically independent
+// generators, and any consumer of trace i sees randomness that depends only
+// on (seed, i) — never on schedule position or thread count.
 
 #include <cstdint>
 
 namespace lpa {
+
+/// SplitMix64 finalizer (Stafford's mix13): bijective avalanche on 64 bits.
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Seed of the independent child stream `stream` of a master `seed`.
+/// Two finalizer rounds with golden-ratio spacing keep even adjacent
+/// stream indices decorrelated; the map (seed, stream) -> child is pure,
+/// which is what makes acquisition results thread-count invariant.
+inline std::uint64_t deriveStreamSeed(std::uint64_t seed,
+                                      std::uint64_t stream) {
+  return mix64(mix64(seed + 0x9E3779B97F4A7C15ULL * (stream + 1)));
+}
 
 class Prng {
  public:

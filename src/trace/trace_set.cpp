@@ -13,6 +13,20 @@ void TraceSet::add(std::uint8_t cls, std::vector<double> trace) {
   samples_.insert(samples_.end(), trace.begin(), trace.end());
 }
 
+void TraceSet::reserve(std::size_t n) {
+  labels_.reserve(n);
+  samples_.reserve(n * numSamples_);
+}
+
+void TraceSet::append(const TraceSet& other) {
+  if (other.numSamples_ != numSamples_ || other.numClasses_ != numClasses_) {
+    throw std::invalid_argument("trace set shape mismatch");
+  }
+  labels_.insert(labels_.end(), other.labels_.begin(), other.labels_.end());
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+}
+
 std::vector<std::vector<double>> TraceSet::classMeans(
     std::size_t firstN) const {
   const std::size_t n =

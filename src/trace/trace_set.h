@@ -15,6 +15,14 @@ class TraceSet {
 
   void add(std::uint8_t cls, std::vector<double> trace);
 
+  /// Pre-allocates storage for `n` traces (acquisition knows its size).
+  void reserve(std::size_t n);
+
+  /// Concatenates `other`'s traces after this set's, preserving order.
+  /// Shapes (numSamples, numClasses) must match. This is how the parallel
+  /// acquisition engine merges per-worker shards in index order.
+  void append(const TraceSet& other);
+
   std::uint32_t numSamples() const { return numSamples_; }
   std::uint32_t numClasses() const { return numClasses_; }
   std::size_t size() const { return labels_.size(); }

@@ -5,6 +5,8 @@
 #include <bit>
 #include <cmath>
 
+#include "trace/trace_set.h"
+
 #include "trace/prng.h"
 
 namespace lpa {
@@ -82,6 +84,57 @@ TEST(Wht, VarianceDecomposition) {
     sum2 += x * x;
   }
   EXPECT_NEAR(nonzero, sum2 - sum * sum / 16.0, 1e-12);
+}
+
+TEST(Wht, ParsevalAndRoundTripPropertyRandomized) {
+  // Property test over many random leakage functions and sizes: the
+  // orthonormal coefficients preserve energy (sum_u a_u^2 == sum_t f(t)^2,
+  // i.e. 2^n times the mean square of the class-conditional means) and the
+  // inverse transform round-trips. This is the invariant the parallel
+  // acquisition merge must not break: shard order changes nothing about
+  // the class means, hence nothing about the spectrum.
+  Prng rng(0x9A25E7A1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1u << (1 + rng.below(6));  // 2..64 entries
+    std::vector<double> f(n);
+    for (double& x : f) x = 20.0 * rng.uniform01() - 10.0;
+    const auto a = whtCoefficients(f);
+    double meanSq = 0.0, coeffEnergy = 0.0;
+    for (double x : f) meanSq += x * x;
+    meanSq /= static_cast<double>(n);
+    for (double x : a) coeffEnergy += x * x;
+    ASSERT_NEAR(coeffEnergy, meanSq * static_cast<double>(n), 1e-9)
+        << "trial " << trial << " n " << n;
+    const auto back = whtInverse(a);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_NEAR(back[i], f[i], 1e-9) << "trial " << trial << " i " << i;
+    }
+  }
+}
+
+TEST(Wht, ParsevalHoldsForClassConditionalMeansOfATraceSet) {
+  // The same invariant stated on the acquisition data structure: per sample
+  // time, the spectral energy of the 16 class means equals their energy in
+  // the class domain.
+  Prng rng(0xC1A55);
+  TraceSet ts(8);
+  for (int i = 0; i < 160; ++i) {
+    std::vector<double> tr(8);
+    for (double& x : tr) x = rng.uniform01();
+    ts.add(static_cast<std::uint8_t>(i % 16), std::move(tr));
+  }
+  const auto means = ts.classMeans();
+  for (std::uint32_t s = 0; s < ts.numSamples(); ++s) {
+    std::array<double, 16> f{};
+    for (std::uint32_t c = 0; c < 16; ++c) f[c] = means[c][s];
+    const auto a = whtCoefficients16(f);
+    double lhs = 0.0, rhs = 0.0;
+    for (int u = 0; u < 16; ++u) {
+      lhs += f[static_cast<std::size_t>(u)] * f[static_cast<std::size_t>(u)];
+      rhs += a[static_cast<std::size_t>(u)] * a[static_cast<std::size_t>(u)];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-9) << "sample " << s;
+  }
 }
 
 TEST(Wht, SingleBitLeakageLandsOnWeightOneCoefficient) {
