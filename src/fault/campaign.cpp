@@ -1,0 +1,191 @@
+#include "fault/campaign.h"
+
+#include <utility>
+
+#include "netlist/validate.h"
+#include "trace/sharded_pool.h"
+
+namespace lpa {
+
+namespace {
+
+/// Domain separator between the baseline's trace streams (derived directly
+/// from the seed, as in acquire()) and the per-fault sub-streams.
+constexpr std::uint64_t kFaultDomainStream = ~1ULL;
+
+SimOptions withBudget(SimOptions sim, std::uint64_t maxEvents) {
+  if (sim.maxEvents == 0) sim.maxEvents = maxEvents;
+  return sim;
+}
+
+FaultDetection worstOf(const FaultTraceCounts& c) {
+  if (c.diverged > 0) return FaultDetection::Diverged;
+  if (c.silentCorruption > 0) return FaultDetection::SilentCorruption;
+  if (c.detectedByDecode > 0) return FaultDetection::DetectedByDecode;
+  return FaultDetection::MaskedOut;
+}
+
+}  // namespace
+
+std::string_view faultDetectionName(FaultDetection d) {
+  switch (d) {
+    case FaultDetection::MaskedOut:
+      return "masked-out";
+    case FaultDetection::DetectedByDecode:
+      return "detected-by-decode";
+    case FaultDetection::SilentCorruption:
+      return "silent-corruption";
+    case FaultDetection::Diverged:
+      return "diverged";
+  }
+  return "?";
+}
+
+std::vector<NetId> maskWireNets(const MaskedSbox& sbox) {
+  const Netlist& nl = sbox.netlist();
+  std::vector<NetId> nets;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    const std::string& name = nl.inputName(i);
+    const bool maskOrRandom =
+        !name.empty() && (name[0] == 'm' || name[0] == 'r');
+    // TI / higher-order ISW share inputs s{j}_{v}: every share beyond
+    // share 0 carries sharing randomness.
+    const bool extraShare =
+        name.size() >= 2 && name[0] == 's' && name[1] >= '1' && name[1] <= '9';
+    if (maskOrRandom || extraShare) nets.push_back(nl.inputs()[i]);
+  }
+  return nets;
+}
+
+std::vector<FaultSpec> stuckAtFaults(const std::vector<NetId>& nets) {
+  std::vector<FaultSpec> faults;
+  faults.reserve(nets.size() * 2);
+  for (NetId net : nets) {
+    faults.push_back({FaultKind::StuckAt0, net, 0.0, 0, kInvalidNet});
+    faults.push_back({FaultKind::StuckAt1, net, 0.0, 0, kInvalidNet});
+  }
+  return faults;
+}
+
+FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
+                                     const DelayModel& delays,
+                                     const PowerModel& power,
+                                     const std::vector<FaultSpec>& faults,
+                                     const FaultCampaignConfig& cfg) {
+  const Netlist& base = sbox.netlist();
+  validateOrThrow(base, "fault campaign base (" + std::string(sbox.name()) +
+                            ")");
+
+  const SimOptions simOpts = withBudget(cfg.sim, cfg.maxEventsPerRun);
+  FaultCampaignResult result(power.options().numSamples);
+
+  // Baseline: the plain acquisition protocol, on the un-faulted design but
+  // under the same watchdog budget — proving the watchdog is behaviour-
+  // preserving on convergent netlists.
+  {
+    AcquisitionConfig acq;
+    acq.tracesPerClass = cfg.tracesPerClass;
+    acq.initialValue = cfg.initialValue;
+    acq.seed = cfg.seed;
+    acq.numThreads = cfg.numThreads;
+    EventSim sim(base, delays, simOpts);
+    result.baseline = acquire(sbox, sim, power, acq);
+    if (cfg.analyzeLeakage) {
+      const SpectralAnalysis sa(result.baseline, 0, cfg.estimator);
+      result.baselineTotalLeakage = sa.totalLeakagePower();
+      result.baselineSingleBitLeakage = sa.totalSingleBitLeakage();
+    }
+  }
+
+  result.reports.resize(faults.size());
+  if (cfg.keepFaultTraces) {
+    result.faultTraces.assign(faults.size(),
+                              TraceSet(power.options().numSamples));
+  }
+  if (faults.empty()) return result;
+
+  const FaultInjector injector(base, delays);
+  const std::uint64_t faultDomain =
+      deriveStreamSeed(cfg.seed, kFaultDomainStream);
+
+  const auto runOneFault = [&](std::uint32_t, std::size_t j) {
+    const FaultSpec& spec = faults[j];
+    FaultReport report;
+    report.fault = spec;
+    report.description = describeFault(spec, base);
+
+    FaultedDesign design = injector.apply(spec);
+    EventSim sim(design.netlist, design.delays, simOpts);
+
+    // Everything below depends only on (cfg.seed, j, i): per-fault seed,
+    // its schedule stream, and per-trace streams.
+    const std::uint64_t faultSeed = deriveStreamSeed(faultDomain, j);
+    const std::vector<std::uint8_t> schedule =
+        balancedClassSchedule(cfg.tracesPerClass, faultSeed);
+
+    TraceSet traces(power.options().numSamples);
+    traces.reserve(schedule.size());
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const std::uint8_t cls = schedule[i];
+      Prng rng(deriveStreamSeed(faultSeed, i));
+      const std::vector<std::uint8_t> init =
+          sbox.encode(cfg.initialValue, rng);
+      const std::vector<std::uint8_t> fin = sbox.encode(cls, rng);
+
+      // Fault-free zero-delay reference for this exact stimulus.
+      const std::vector<std::uint8_t> refOut = base.evaluateOutputs(fin);
+
+      std::vector<Transition> transitions;
+      try {
+        sim.settle(init);
+        transitions = sim.run(fin);
+      } catch (const SimDiverged& d) {
+        ++report.counts.diverged;
+        if (d.eventsProcessed() > report.maxWatchdogEvents) {
+          report.maxWatchdogEvents = d.eventsProcessed();
+        }
+        continue;  // graceful degradation: next trace
+      }
+
+      const std::vector<std::uint8_t> faultedOut = sim.outputValues();
+      if (faultedOut == refOut) {
+        ++report.counts.maskedOut;
+      } else {
+        bool decodeMatches = false;
+        try {
+          decodeMatches =
+              sbox.decode(faultedOut, fin) == sbox.decode(refOut, fin);
+        } catch (const std::exception&) {
+          decodeMatches = false;  // decode refused the corrupted shares
+        }
+        if (decodeMatches) {
+          ++report.counts.silentCorruption;
+        } else {
+          ++report.counts.detectedByDecode;
+        }
+      }
+      traces.add(cls, power.sample(transitions, rng.next() | 1ULL));
+    }
+
+    report.classification = worstOf(report.counts);
+    if (cfg.analyzeLeakage && traces.size() > 0) {
+      const SpectralAnalysis sa(traces, 0, cfg.estimator);
+      report.totalLeakage = sa.totalLeakagePower();
+      report.singleBitLeakage = sa.totalSingleBitLeakage();
+    }
+    result.reports[j] = std::move(report);
+    if (cfg.keepFaultTraces) result.faultTraces[j] = std::move(traces);
+  };
+  const auto describe = [&](std::size_t j) {
+    return "fault " + std::to_string(j) + " (" +
+           describeFault(faults[j], base) + ", style " +
+           std::string(sbox.name()) + ")";
+  };
+
+  detail::shardedFor(faults.size(),
+                     resolveWorkerThreads(cfg.numThreads, faults.size()),
+                     runOneFault, describe);
+  return result;
+}
+
+}  // namespace lpa

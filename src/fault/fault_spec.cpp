@@ -1,0 +1,137 @@
+#include "fault/fault_spec.h"
+
+#include <stdexcept>
+
+namespace lpa {
+
+namespace {
+
+/// The complemented cell of each library gate, for BitFlip overlays.
+GateType complementType(GateType t) {
+  switch (t) {
+    case GateType::Const0:
+      return GateType::Const1;
+    case GateType::Const1:
+      return GateType::Const0;
+    case GateType::Buf:
+      return GateType::Inv;
+    case GateType::Inv:
+      return GateType::Buf;
+    case GateType::And:
+      return GateType::Nand;
+    case GateType::Nand:
+      return GateType::And;
+    case GateType::Or:
+      return GateType::Nor;
+    case GateType::Nor:
+      return GateType::Or;
+    case GateType::Xor:
+      return GateType::Xnor;
+    case GateType::Xnor:
+      return GateType::Xor;
+    case GateType::Input:
+      break;
+  }
+  throw std::invalid_argument(
+      "bit-flip fault is not expressible on a primary input "
+      "(no driver function); use stuck-at");
+}
+
+std::vector<NetId> faninVector(const Gate& g) {
+  return std::vector<NetId>(g.fanin.begin(), g.fanin.begin() + g.numFanin);
+}
+
+}  // namespace
+
+std::string_view faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::StuckAt0:
+      return "stuck-at-0";
+    case FaultKind::StuckAt1:
+      return "stuck-at-1";
+    case FaultKind::BitFlip:
+      return "bit-flip";
+    case FaultKind::DelayInflation:
+      return "delay-inflation";
+    case FaultKind::Bridge:
+      return "bridge";
+  }
+  return "?";
+}
+
+std::string describeFault(const FaultSpec& f, const Netlist& nl) {
+  std::string s = std::string(faultKindName(f.kind)) + " @ net " +
+                  std::to_string(f.net);
+  if (f.net < nl.numGates()) {
+    const Gate& g = nl.gate(f.net);
+    if (g.type == GateType::Input) {
+      for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        if (nl.inputs()[i] == f.net) {
+          s += " (input '" + nl.inputName(i) + "')";
+          return s;
+        }
+      }
+    }
+    s += " (" + std::string(gateTypeName(g.type)) + ")";
+  }
+  if (f.kind == FaultKind::DelayInflation) {
+    s += " x" + std::to_string(f.delayFactor);
+  }
+  if (f.kind == FaultKind::Bridge) {
+    s += " pin " + std::to_string(f.pin) + " -> net " +
+         std::to_string(f.bridgeTo);
+  }
+  return s;
+}
+
+void FaultInjector::applyTo(FaultedDesign& design, const FaultSpec& f) {
+  Netlist& nl = design.netlist;
+  if (f.net >= nl.numGates()) {
+    throw std::invalid_argument("fault references missing net " +
+                                std::to_string(f.net));
+  }
+  const Gate& g = nl.gate(f.net);
+  switch (f.kind) {
+    case FaultKind::StuckAt0:
+      nl.replaceGate(f.net, GateType::Const0, {});
+      return;
+    case FaultKind::StuckAt1:
+      nl.replaceGate(f.net, GateType::Const1, {});
+      return;
+    case FaultKind::BitFlip:
+      nl.replaceGate(f.net, complementType(g.type), faninVector(g));
+      return;
+    case FaultKind::DelayInflation:
+      design.delays.scaleDelay(f.net, f.delayFactor);
+      return;
+    case FaultKind::Bridge: {
+      if (isSourceGate(g.type)) {
+        throw std::invalid_argument(
+            "bridge fault needs a gate with fanin pins; net " +
+            std::to_string(f.net) + " is a source");
+      }
+      if (f.pin < 0 || f.pin >= g.numFanin) {
+        throw std::invalid_argument("bridge pin out of range");
+      }
+      std::vector<NetId> fanins = faninVector(g);
+      fanins[static_cast<std::size_t>(f.pin)] = f.bridgeTo;
+      nl.replaceGate(f.net, g.type, fanins);
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown fault kind");
+}
+
+FaultedDesign FaultInjector::apply(const FaultSpec& f) const {
+  FaultedDesign design{*base_, *delays_};
+  applyTo(design, f);
+  return design;
+}
+
+FaultedDesign FaultInjector::apply(const std::vector<FaultSpec>& faults) const {
+  FaultedDesign design{*base_, *delays_};
+  for (const FaultSpec& f : faults) applyTo(design, f);
+  return design;
+}
+
+}  // namespace lpa

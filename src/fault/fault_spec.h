@@ -1,0 +1,84 @@
+#pragma once
+// Per-net fault models and the injector that applies them.
+//
+// A fault is applied to a (Netlist, DelayModel) pair as a *clone-with-
+// overlay*: the injector copies both models and rewrites the copy, so the
+// originals — typically shared read-only by a worker pool (see
+// EventSim::clone) — are never mutated and concurrent campaigns over the
+// same base design are safe.
+//
+// Fault kinds (the classic gate-level fault models):
+//   * StuckAt0 / StuckAt1 — the net's driver is overlaid with a constant;
+//     on a primary input the stimulus is ignored (stuck input).
+//   * BitFlip — the driver's function is complemented (AND->NAND, XOR->
+//     XNOR, ...). Applied per-trace by the campaign, this models a
+//     transient inversion lasting one evaluation. Not expressible on a
+//     primary input (no driver function); use stuck-at there.
+//   * DelayInflation — the net's propagation delay is multiplied by
+//     `delayFactor` (slow/weak-driver defect; shifts arrival-time races).
+//   * Bridge — fanin `pin` of gate `net` is rewired to net `bridgeTo`
+//     (bridging defect). A bridge may create combinational feedback, which
+//     is why faulted simulation must run under the watchdog budget
+//     (SimOptions::maxEvents) and why validate() detects cycles.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/delay_model.h"
+
+namespace lpa {
+
+enum class FaultKind : std::uint8_t {
+  StuckAt0,
+  StuckAt1,
+  BitFlip,
+  DelayInflation,
+  Bridge,
+};
+
+std::string_view faultKindName(FaultKind k);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::StuckAt0;
+  NetId net = kInvalidNet;       ///< the faulted net (== its driver gate)
+  double delayFactor = 8.0;      ///< DelayInflation multiplier (> 0)
+  int pin = 0;                   ///< Bridge: which fanin pin of `net`
+  NetId bridgeTo = kInvalidNet;  ///< Bridge: the replacement driver
+};
+
+/// Human-readable fault identity, e.g. "stuck-at-0 @ net 17 (AND)" or
+/// "stuck-at-1 @ net 4 (input 'mi0')".
+std::string describeFault(const FaultSpec& f, const Netlist& nl);
+
+/// A faulted overlay of a design. Self-contained value type: simulators
+/// built on it must not outlive it, but it is independent of the base.
+struct FaultedDesign {
+  Netlist netlist;
+  DelayModel delays;
+};
+
+/// Applies FaultSpecs to a base design by clone-with-overlay. The base
+/// models must outlive the injector; they are never written.
+class FaultInjector {
+ public:
+  FaultInjector(const Netlist& base, const DelayModel& baseDelays)
+      : base_(&base), delays_(&baseDelays) {}
+
+  /// Overlay with a single fault. Throws std::invalid_argument on an
+  /// inapplicable spec (missing net, bit-flip on a primary input, bridge
+  /// pin out of range, non-positive delay factor).
+  FaultedDesign apply(const FaultSpec& f) const;
+
+  /// Overlay with several simultaneous faults (multi-fault campaigns).
+  FaultedDesign apply(const std::vector<FaultSpec>& faults) const;
+
+ private:
+  static void applyTo(FaultedDesign& design, const FaultSpec& f);
+
+  const Netlist* base_;
+  const DelayModel* delays_;
+};
+
+}  // namespace lpa

@@ -27,6 +27,33 @@ NetId Netlist::addGate(GateType type, const std::vector<NetId>& fanins) {
   return id;
 }
 
+void Netlist::replaceGate(NetId id, GateType type,
+                          const std::vector<NetId>& fanins) {
+  if (id >= gates_.size()) {
+    throw std::invalid_argument("replaceGate: no such gate");
+  }
+  if (type == GateType::Input) {
+    throw std::invalid_argument("replaceGate cannot create primary inputs");
+  }
+  const FaninRange range = gateFaninRange(type);
+  const int n = static_cast<int>(fanins.size());
+  if (n < range.min || n > range.max) {
+    throw std::invalid_argument(std::string("bad fanin count for ") +
+                                std::string(gateTypeName(type)));
+  }
+  Gate g;
+  g.type = type;
+  g.numFanin = static_cast<std::uint8_t>(n);
+  for (int i = 0; i < n; ++i) {
+    if (fanins[i] >= gates_.size()) {
+      throw std::invalid_argument("replaceGate: fanin references missing net");
+    }
+    g.fanin[static_cast<std::size_t>(i)] = fanins[i];
+  }
+  gates_[id] = g;
+  fanoutCache_.clear();
+}
+
 NetId Netlist::addInput(std::string name) {
   const NetId id = addGate(GateType::Input, {});
   inputs_.push_back(id);

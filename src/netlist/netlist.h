@@ -27,6 +27,17 @@ class Netlist {
   /// Marks an existing net as a primary output under `name`.
   void markOutput(NetId net, std::string name);
 
+  /// Overlay hook for fault injection: rewrites gate `id` in place to
+  /// `type` with `fanins`. Unlike addGate, fanins may reference *any*
+  /// existing net — including `id` itself or later gates — so an overlay
+  /// can express bridging/rewire faults. This can break the topological
+  /// invariant: run validate() (which detects combinational cycles) to
+  /// diagnose, and simulate with a watchdog budget (SimOptions::maxEvents)
+  /// since feedback may oscillate. Replacing a primary input's gate with a
+  /// constant models a stuck input (the simulator then ignores stimulus on
+  /// it); `type` must not be GateType::Input.
+  void replaceGate(NetId id, GateType type, const std::vector<NetId>& fanins);
+
   std::size_t numGates() const { return gates_.size(); }
   const Gate& gate(NetId id) const { return gates_[id]; }
   const std::vector<Gate>& gates() const { return gates_; }

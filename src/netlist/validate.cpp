@@ -1,5 +1,6 @@
 #include "netlist/validate.h"
 
+#include <stdexcept>
 #include <unordered_set>
 
 namespace lpa {
@@ -49,7 +50,56 @@ ValidationReport validate(const Netlist& nl) {
                              "' does not reach any output");
     }
   }
+
+  // Combinational cycles reachable from primary inputs. Construction via
+  // addGate is cycle-free by the topological invariant, but fault/rewire
+  // overlays (Netlist::replaceGate) may introduce feedback. Iterative DFS
+  // along fanout edges; hitting a gray (on-stack) node is a back edge.
+  std::vector<std::vector<NetId>> fanout(n);
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = nl.gate(id);
+    for (int i = 0; i < g.numFanin; ++i) {
+      fanout[g.fanin[static_cast<std::size_t>(i)]].push_back(id);
+    }
+  }
+  std::vector<std::uint8_t> color(n, 0);  // 0 white, 1 gray, 2 black
+  struct Frame {
+    NetId node;
+    std::size_t next;
+  };
+  bool cycleFound = false;
+  for (NetId in : nl.inputs()) {
+    if (cycleFound || color[in] != 0) continue;
+    std::vector<Frame> dfs{{in, 0}};
+    color[in] = 1;
+    while (!dfs.empty() && !cycleFound) {
+      Frame& f = dfs.back();
+      if (f.next < fanout[f.node].size()) {
+        const NetId nxt = fanout[f.node][f.next++];
+        if (color[nxt] == 1) {
+          rep.problems.push_back("combinational cycle through net " +
+                                 std::to_string(nxt) +
+                                 " reachable from primary inputs");
+          cycleFound = true;
+        } else if (color[nxt] == 0) {
+          color[nxt] = 1;
+          dfs.push_back({nxt, 0});
+        }
+      } else {
+        color[f.node] = 2;
+        dfs.pop_back();
+      }
+    }
+  }
   return rep;
+}
+
+void validateOrThrow(const Netlist& nl, const std::string& context) {
+  const ValidationReport rep = validate(nl);
+  if (rep.ok()) return;
+  std::string msg = context + ": netlist failed validation:";
+  for (const std::string& p : rep.problems) msg += "\n  - " + p;
+  throw std::invalid_argument(msg);
 }
 
 }  // namespace lpa

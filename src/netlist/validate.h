@@ -15,12 +15,21 @@ struct ValidationReport {
 };
 
 /// Checks:
-///  - every fanin precedes its gate (topological order / acyclic),
+///  - every fanin precedes its gate (topological order),
+///  - no combinational cycle reachable from a primary input (fault/rewire
+///    overlays via Netlist::replaceGate can create feedback; a cycle
+///    oscillates under simulation and needs the watchdog budget),
 ///  - fanin counts are legal for the gate type,
 ///  - at least one primary input and output,
 ///  - outputs reference existing nets,
 ///  - no floating gates (every non-output gate has at least one fanout),
 ///    reported as a warning-style problem since delay chains may end unused.
 ValidationReport validate(const Netlist& nl);
+
+/// Throws std::invalid_argument listing every problem of `validate(nl)`,
+/// prefixed with `context`, if the netlist is malformed. Wired into the
+/// S-box factory path so a bad custom gadget fails with the report's
+/// problems instead of downstream UB.
+void validateOrThrow(const Netlist& nl, const std::string& context);
 
 }  // namespace lpa

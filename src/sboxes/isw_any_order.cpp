@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "netlist/builder.h"
+#include "netlist/validate.h"
 #include "sboxes/encoding.h"
 #include "sboxes/opt_sbox.h"
 
@@ -179,7 +180,9 @@ class IswAnyOrderSbox final : public MaskedSbox {
 }  // namespace
 
 std::unique_ptr<MaskedSbox> makeIswSboxOfOrder(int order) {
-  return std::make_unique<IswAnyOrderSbox>(order);
+  auto sbox = std::make_unique<IswAnyOrderSbox>(order);
+  validateOrThrow(sbox->netlist(), "ISW order " + std::to_string(order));
+  return sbox;
 }
 
 }  // namespace lpa

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "netlist/validate.h"
 #include "sboxes/impl_factories.h"
 
 namespace lpa {
@@ -34,23 +35,35 @@ std::string_view sboxStyleName(SboxStyle s) {
 }
 
 std::unique_ptr<MaskedSbox> makeSbox(SboxStyle style) {
+  std::unique_ptr<MaskedSbox> sbox;
   switch (style) {
     case SboxStyle::Lut:
-      return detail::makeLutSbox();
+      sbox = detail::makeLutSbox();
+      break;
     case SboxStyle::Opt:
-      return detail::makeOptSbox();
+      sbox = detail::makeOptSbox();
+      break;
     case SboxStyle::Glut:
-      return detail::makeGlutSbox();
+      sbox = detail::makeGlutSbox();
+      break;
     case SboxStyle::Rsm:
-      return detail::makeRsmSbox();
+      sbox = detail::makeRsmSbox();
+      break;
     case SboxStyle::RsmRom:
-      return detail::makeRsmRomSbox();
+      sbox = detail::makeRsmRomSbox();
+      break;
     case SboxStyle::Isw:
-      return detail::makeIswSbox();
+      sbox = detail::makeIswSbox();
+      break;
     case SboxStyle::Ti:
-      return detail::makeTiSbox();
+      sbox = detail::makeTiSbox();
+      break;
   }
-  throw std::invalid_argument("unknown S-box style");
+  if (!sbox) throw std::invalid_argument("unknown S-box style");
+  // Fail construction with the structural problems listed instead of
+  // letting a malformed netlist reach the simulator as UB.
+  validateOrThrow(sbox->netlist(), std::string(sboxStyleName(style)));
+  return sbox;
 }
 
 }  // namespace lpa

@@ -65,4 +65,15 @@ void DelayModel::setAgingFactors(const std::vector<double>& delayScale) {
 
 void DelayModel::clearAging() { delays_ = fresh_; }
 
+void DelayModel::scaleDelay(NetId id, double factor) {
+  if (id >= fresh_.size()) {
+    throw std::invalid_argument("scaleDelay: no such gate");
+  }
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("scaleDelay: factor must be > 0");
+  }
+  fresh_[id] *= factor;
+  delays_[id] *= factor;
+}
+
 }  // namespace lpa

@@ -48,6 +48,12 @@ class DelayModel {
   /// Resets to the fresh (unaged) device.
   void clearAging();
 
+  /// Multiplies gate `id`'s delay by `factor` (> 0). This is the
+  /// delay-inflation fault overlay: it scales the fresh baseline too, so
+  /// the inflation persists across setAgingFactors/clearAging. Only call
+  /// on a private (cloned) model — never on one shared by a worker pool.
+  void scaleDelay(NetId id, double factor);
+
  private:
   std::vector<double> fresh_;
   std::vector<double> delays_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
+#include <string>
 
 namespace lpa {
 
@@ -25,6 +26,14 @@ struct EventLater {
 using EventQueue = std::priority_queue<Event, std::vector<Event>, EventLater>;
 
 }  // namespace
+
+SimDiverged::SimDiverged(std::uint64_t eventsProcessed, double simTimePs)
+    : std::runtime_error("simulation diverged: watchdog budget exhausted "
+                         "after " +
+                         std::to_string(eventsProcessed) + " events at t=" +
+                         std::to_string(simTimePs) + " ps"),
+      events_(eventsProcessed),
+      timePs_(simTimePs) {}
 
 EventSim::EventSim(const Netlist& nl, const DelayModel& delays, DelayKind kind)
     : EventSim(nl, delays, SimOptions{kind, 2.0}) {}
@@ -129,6 +138,9 @@ std::vector<Transition> EventSim::run(
   std::vector<Transition> log;
   std::vector<NetId> changedInputs;
   for (std::size_t i = 0; i < ins.size(); ++i) {
+    // A faulted (stuck) primary input — its gate overlaid with a constant —
+    // ignores stimulus.
+    if (nl_->gate(ins[i]).type != GateType::Input) continue;
     const std::uint8_t nv = inputValues[i] & 1u;
     if (nv != state_[ins[i]]) {
       state_[ins[i]] = nv;
@@ -141,9 +153,19 @@ std::vector<Transition> EventSim::run(
     for (NetId g : fanout_[net]) scheduleGate(g, 0.0);
   }
 
+  std::uint64_t popped = 0;
   while (!queue.empty()) {
     const Event e = queue.top();
     queue.pop();
+    // Watchdog: amortized against the pop. One increment + predictable
+    // branch per event; a quiescing run under budget behaves identically.
+    ++popped;
+    if (opts_.maxEvents != 0 && popped > opts_.maxEvents) {
+      throw SimDiverged(popped, e.time);
+    }
+    if (opts_.maxTimePs > 0.0 && e.time > opts_.maxTimePs) {
+      throw SimDiverged(popped, e.time);
+    }
     if (opts_.kind == DelayKind::Inertial) {
       Pending& p = pending_[e.net];
       if (!p.active || p.seq != e.seq) continue;  // cancelled or superseded

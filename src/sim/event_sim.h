@@ -11,6 +11,7 @@
 //   sim.settle(initialInputs);                  // steady state, no events
 //   auto transitions = sim.run(finalInputs);    // timed transition list
 
+#include <stdexcept>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -18,6 +19,27 @@
 #include "sim/waveform.h"
 
 namespace lpa {
+
+/// Structured divergence outcome of EventSim::run: the watchdog budget
+/// (SimOptions::maxEvents / maxTimePs) was exhausted before quiescence.
+/// A well-formed combinational netlist always quiesces; a fault-induced
+/// feedback loop (bridging fault, buggy custom gadget) can oscillate
+/// forever, and the watchdog turns that hang into this exception. After it
+/// is thrown the simulator's dynamic state is mid-flight; call reset() or
+/// settle() before reusing the instance.
+class SimDiverged : public std::runtime_error {
+ public:
+  SimDiverged(std::uint64_t eventsProcessed, double simTimePs);
+
+  /// Events popped from the queue before the budget fired.
+  std::uint64_t eventsProcessed() const { return events_; }
+  /// Simulated time (ps) of the event that tripped the watchdog.
+  double simTimePs() const { return timePs_; }
+
+ private:
+  std::uint64_t events_;
+  double timePs_;
+};
 
 enum class DelayKind {
   Inertial,   ///< short pulses swallowed (physical default)
@@ -30,6 +52,16 @@ struct SimOptions {
   /// swings the node: its trailing edge's energy weight is the width/delay
   /// ratio, clamped to 1. Set to 0 to give every edge full energy.
   double fullSwingFactor = 2.0;
+  /// Watchdog: hard budget on events processed per run() call (0 =
+  /// unlimited). Exceeding it throws SimDiverged instead of looping
+  /// forever on an oscillating (faulted/cyclic) netlist. The check is one
+  /// counter increment amortized against the queue pop, so the un-faulted
+  /// hot path is unaffected; a converging run below the budget is
+  /// bit-identical with the watchdog on or off.
+  std::uint64_t maxEvents = 0;
+  /// Watchdog on simulated time: an event scheduled past this horizon (ps)
+  /// throws SimDiverged (0 = unlimited).
+  double maxTimePs = 0.0;
 };
 
 class EventSim {

@@ -1,12 +1,11 @@
 #include "trace/acquisition.h"
 
-#include <algorithm>
-#include <exception>
 #include <stdexcept>
-#include <thread>
+#include <string>
 #include <vector>
 
 #include "crypto/present.h"
+#include "trace/sharded_pool.h"
 
 namespace lpa {
 
@@ -15,73 +14,63 @@ namespace {
 /// Stream index of the schedule shuffle; far outside any trace index.
 constexpr std::uint64_t kScheduleStream = ~0ULL;
 
-std::uint32_t resolveThreads(std::uint32_t requested, std::size_t work) {
-  std::uint32_t t = requested != 0 ? requested
-                                   : std::max(1u, std::thread::hardware_concurrency());
-  if (work == 0) work = 1;
-  return static_cast<std::uint32_t>(
-      std::min<std::size_t>(t, work));
-}
-
 /// Runs `body(sim, i, shard)` for every trace index in [0, n), sharded over
 /// `threads` workers in contiguous index blocks, and concatenates the
 /// per-worker shards in index order. `body` must depend only on the trace
 /// index (the determinism contract), which is what makes the sharding
-/// invisible in the result.
-template <typename TraceBody>
+/// invisible in the result. Failures carry the trace identity rendered by
+/// `describe(i)` and abort the remaining workers (see trace/sharded_pool.h).
+template <typename TraceBody, typename Describe>
 TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
                         std::size_t n, std::uint32_t threads,
-                        const TraceBody& body) {
+                        const TraceBody& body, const Describe& describe) {
   TraceSet traces(numSamples);
   traces.reserve(n);
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(sim, i, traces);
+    detail::shardedFor(
+        n, 1, [&](std::uint32_t, std::size_t i) { body(sim, i, traces); },
+        describe);
     return traces;
   }
 
+  std::vector<EventSim> sims;
+  sims.reserve(threads);
   std::vector<TraceSet> shards(threads, TraceSet(numSamples));
-  std::vector<std::exception_ptr> errors(threads);
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
   for (std::uint32_t w = 0; w < threads; ++w) {
-    pool.emplace_back([&, w] {
-      const std::size_t begin = n * w / threads;
-      const std::size_t end = n * (w + 1) / threads;
-      shards[w].reserve(end - begin);
-      try {
-        EventSim worker = sim.clone();
-        for (std::size_t i = begin; i < end; ++i) {
-          body(worker, i, shards[w]);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
+    sims.push_back(sim.clone());
+    shards[w].reserve(n * (w + 1) / threads - n * w / threads);
   }
-  for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  detail::shardedFor(
+      n, threads,
+      [&](std::uint32_t w, std::size_t i) { body(sims[w], i, shards[w]); },
+      describe);
   for (const TraceSet& shard : shards) traces.append(shard);
   return traces;
 }
 
 }  // namespace
 
-TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
-                 const PowerModel& power, const AcquisitionConfig& cfg) {
+std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
+                                                std::uint64_t seed) {
   // Balanced, shuffled schedule of final classes, from a dedicated stream
   // so trace streams never alias it.
-  Prng srng(deriveStreamSeed(cfg.seed, kScheduleStream));
+  Prng srng(deriveStreamSeed(seed, kScheduleStream));
   std::vector<std::uint8_t> schedule;
-  schedule.reserve(16u * cfg.tracesPerClass);
-  for (std::uint32_t r = 0; r < cfg.tracesPerClass; ++r) {
+  schedule.reserve(16u * tracesPerClass);
+  for (std::uint32_t r = 0; r < tracesPerClass; ++r) {
     for (std::uint8_t c = 0; c < 16; ++c) schedule.push_back(c);
   }
   for (std::size_t i = schedule.size(); i > 1; --i) {
     std::swap(schedule[i - 1],
               schedule[srng.below(static_cast<std::uint32_t>(i))]);
   }
+  return schedule;
+}
+
+TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
+                 const PowerModel& power, const AcquisitionConfig& cfg) {
+  const std::vector<std::uint8_t> schedule =
+      balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
 
   const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
     const std::uint8_t cls = schedule[i];
@@ -99,10 +88,15 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
     }
     out.add(cls, power.sample(transitions, rng.next() | 1ULL));
   };
+  const auto describe = [&](std::size_t i) {
+    return "acquire trace " + std::to_string(i) + " (class " +
+           std::to_string(static_cast<int>(schedule[i])) + ", style " +
+           std::string(sbox.name()) + ")";
+  };
 
   return shardedAcquire(sim, power.options().numSamples, schedule.size(),
-                        resolveThreads(cfg.numThreads, schedule.size()),
-                        body);
+                        resolveWorkerThreads(cfg.numThreads, schedule.size()),
+                        body, describe);
 }
 
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
@@ -119,9 +113,18 @@ TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
     const std::vector<Transition> transitions = worker.run(fin);
     out.add(plain, power.sample(transitions, rng.next() | 1ULL));
   };
+  const auto describe = [&](std::size_t i) {
+    // The plaintext is the first draw of the trace's stream; re-derive it
+    // so the error names the stimulus, not just the index.
+    const std::uint8_t plain = Prng(deriveStreamSeed(seed, i)).nibble();
+    return "keyed trace " + std::to_string(i) + " (plaintext " +
+           std::to_string(static_cast<int>(plain)) + ", style " +
+           std::string(sbox.name()) + ")";
+  };
 
   return shardedAcquire(sim, power.options().numSamples, numTraces,
-                        resolveThreads(numThreads, numTraces), body);
+                        resolveWorkerThreads(numThreads, numTraces), body,
+                        describe);
 }
 
 }  // namespace lpa

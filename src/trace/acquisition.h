@@ -33,6 +33,15 @@
 // per-instance process jitter is shared, not re-rolled), fill private
 // TraceSets over contiguous index ranges, and the shards are concatenated
 // in index order.
+//
+// ## Failure semantics
+//
+// A trace that throws (decode mismatch, SimDiverged from the watchdog,
+// out-of-memory, ...) aborts the remaining workers via an atomic flag and
+// is rethrown as a WorkerError (trace/sharded_pool.h) that names the trace
+// index, its class/plaintext, and the implementation style, with the
+// original exception nested. Among concurrent failures the lowest trace
+// index wins, so the reported failure does not depend on thread timing.
 
 #include <cstdint>
 
@@ -55,6 +64,13 @@ struct AcquisitionConfig {
   /// Any value yields bit-identical results (see determinism contract).
   std::uint32_t numThreads = 0;
 };
+
+/// The Fig. 5 protocol's balanced, shuffled 16-class schedule: 16 *
+/// tracesPerClass entries, shuffled by the dedicated schedule stream of
+/// `seed`. Exposed so other trace consumers (the fault campaign) reuse the
+/// exact protocol.
+std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
+                                                std::uint64_t seed);
 
 /// Collects a balanced, labelled trace set from `sbox` using the simulator
 /// and power model (both must be built for sbox.netlist()). `sim` is used

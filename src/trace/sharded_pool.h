@@ -1,0 +1,127 @@
+#pragma once
+// Fail-safe sharded worker pool shared by the acquisition engine and the
+// fault-injection campaign runner.
+//
+// Work items [0, n) are split into contiguous index blocks, one per worker
+// thread (the PR 1 sharding scheme: results concatenated in index order are
+// invariant in the thread count as long as item i depends only on i).
+//
+// Failure semantics ("fail-safe acquisition"):
+//   * the first item that throws sets an atomic abort flag; every worker
+//     checks it before starting its next item, so doomed shards stop early
+//     instead of running to completion;
+//   * among all failures that occurred before the abort propagated, the one
+//     with the LOWEST item index wins (not first-by-worker-order, which
+//     would depend on thread timing);
+//   * the winning failure is rethrown as a WorkerError carrying the item
+//     index and a caller-supplied description of the item's identity, with
+//     the original exception nested (std::throw_with_nested) for callers
+//     that need the root cause.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace lpa {
+
+/// A worker failure annotated with the identity of the failing work item.
+/// what() = "<description of item>: <original what()>"; the original
+/// exception is nested and recoverable via std::rethrow_if_nested.
+class WorkerError : public std::runtime_error {
+ public:
+  WorkerError(std::size_t index, const std::string& what)
+      : std::runtime_error(what), index_(index) {}
+
+  /// Index of the failing work item (for acquisition: the trace index).
+  std::size_t index() const { return index_; }
+
+ private:
+  std::size_t index_;
+};
+
+/// Resolves a worker-count request against the amount of work:
+/// 0 = hardware concurrency, never more threads than items.
+inline std::uint32_t resolveWorkerThreads(std::uint32_t requested,
+                                          std::size_t work) {
+  std::uint32_t t = requested != 0
+                        ? requested
+                        : std::max(1u, std::thread::hardware_concurrency());
+  if (work == 0) work = 1;
+  return static_cast<std::uint32_t>(std::min<std::size_t>(t, work));
+}
+
+namespace detail {
+
+/// Runs body(w, i) for every i in [0, n), sharded over `threads` workers in
+/// contiguous blocks (worker w covers [n*w/threads, n*(w+1)/threads)).
+/// `describe(i)` renders the item's identity for error reporting and is
+/// only called on failure. See the header comment for failure semantics.
+template <typename Body, typename Describe>
+void shardedFor(std::size_t n, std::uint32_t threads, const Body& body,
+                const Describe& describe) {
+  if (n == 0) return;
+
+  std::exception_ptr failError;
+  std::size_t failIndex = 0;
+  bool failed = false;
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < n && !failed; ++i) {
+      try {
+        body(0u, i);
+      } catch (...) {
+        failError = std::current_exception();
+        failIndex = i;
+        failed = true;
+      }
+    }
+  } else {
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t w = 0; w < threads; ++w) {
+      pool.emplace_back([&, w] {
+        const std::size_t begin = n * w / threads;
+        const std::size_t end = n * (w + 1) / threads;
+        for (std::size_t i = begin; i < end; ++i) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          try {
+            body(w, i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!failed || i < failIndex) {
+              failError = std::current_exception();
+              failIndex = i;
+              failed = true;
+            }
+            abort.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  if (failed) {
+    try {
+      std::rethrow_exception(failError);
+    } catch (const std::exception& e) {
+      std::throw_with_nested(
+          WorkerError(failIndex, describe(failIndex) + ": " + e.what()));
+    } catch (...) {
+      std::throw_with_nested(WorkerError(failIndex, describe(failIndex)));
+    }
+  }
+}
+
+}  // namespace detail
+
+}  // namespace lpa

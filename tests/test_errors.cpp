@@ -1,0 +1,254 @@
+// Error-path coverage: every documented throw site must fire with a
+// diagnosable message, and worker-pool failures must carry the identity of
+// the failing work item (fail-safe acquisition).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+#include "crypto/present.h"
+#include "netlist/builder.h"
+#include "netlist/netlist.h"
+#include "netlist/validate.h"
+#include "sboxes/encoding.h"
+#include "sboxes/isw_any_order.h"
+#include "sboxes/masked_sbox.h"
+#include "trace/acquisition.h"
+#include "trace/sharded_pool.h"
+#include "trace/trace_set.h"
+
+namespace lpa {
+namespace {
+
+// Message-checking helper: the exception must both be of the right type and
+// mention the given fragment, so failures stay diagnosable.
+template <typename Ex, typename Fn>
+void expectThrowContaining(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected exception mentioning '" << fragment << "'";
+  } catch (const Ex& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(NetlistErrors, RejectsBadFaninCounts) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  const NetId b = nl.addInput("b");
+  // XOR is strictly 2-input in this cell library.
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.addGate(GateType::Xor, {a, b, a}); }, "bad fanin count");
+  // AND tops out at the library max of 4.
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.addGate(GateType::And, {a, b, a, b, a}); }, "bad fanin count");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.addGate(GateType::Inv, {}); }, "bad fanin count");
+}
+
+TEST(NetlistErrors, AddGateEnforcesTopologicalOrder) {
+  Netlist nl;
+  const NetId a = nl.addInput("a");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.addGate(GateType::Buf, {a + 1}); }, "not yet defined");
+  // replaceGate deliberately relaxes this (fault overlays may feed back),
+  // but still rejects nets that do not exist at all.
+  const NetId y = nl.addGate(GateType::Buf, {a});
+  nl.markOutput(y, "y");
+  EXPECT_NO_THROW(nl.replaceGate(a, GateType::Buf, {y}));
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.replaceGate(y, GateType::Buf, {y + 100}); }, "missing net");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.replaceGate(y + 100, GateType::Const0, {}); }, "no such gate");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { nl.replaceGate(y, GateType::Input, {}); }, "primary input");
+}
+
+TEST(NetlistErrors, LookupsNameTheMissingNet) {
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  b.output(b.buf(a), "y");
+  const Netlist nl = b.take();
+  expectThrowContaining<std::invalid_argument>(
+      [&] { (void)nl.inputByName("zz"); }, "unknown input: zz");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { (void)nl.outputByName("zz"); }, "unknown output: zz");
+  Netlist mut = nl;
+  expectThrowContaining<std::invalid_argument>(
+      [&] { mut.markOutput(1000, "bad"); }, "does not exist");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { (void)nl.evaluate({1, 0}); }, "wrong number of input values");
+}
+
+TEST(NetlistErrors, ValidateOrThrowListsEveryProblem) {
+  // A netlist with a disconnected input AND a cycle reachable from another.
+  NetlistBuilder b;
+  const NetId a = b.input("a");
+  const NetId dead = b.input("dead");
+  (void)dead;
+  const NetId g = b.buf(a);
+  const NetId f = b.xorGate(a, g);
+  const NetId y = b.buf(f);
+  b.output(y, "y");
+  Netlist nl = b.take();
+  // Keep the a -> f edge so the feedback loop stays input-reachable.
+  nl.replaceGate(f, GateType::Xor, {a, y});
+  try {
+    validateOrThrow(nl, "test-netlist");
+    FAIL() << "validation must fail";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("test-netlist"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("dead"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("combinational cycle"), std::string::npos) << msg;
+  }
+}
+
+TEST(SboxErrors, FactoryRejectsUnknownStyleAndBadIswOrder) {
+  expectThrowContaining<std::invalid_argument>(
+      [] { (void)makeSbox(static_cast<SboxStyle>(255)); },
+      "unknown S-box style");
+  // The order guard of the generic masking construction.
+  expectThrowContaining<std::invalid_argument>(
+      [] { (void)makeIswSboxOfOrder(0); }, "ISW order");
+  expectThrowContaining<std::invalid_argument>(
+      [] { (void)makeIswSboxOfOrder(9); }, "ISW order");
+  EXPECT_NO_THROW((void)makeIswSboxOfOrder(2));
+}
+
+TEST(EncodingErrors, NibbleOffsetOutOfRange) {
+  const std::vector<std::uint8_t> bits = {1, 0, 1, 0, 1};
+  EXPECT_EQ(readNibbleBits(bits, 0), 0x5);
+  EXPECT_EQ(readNibbleBits(bits, 1), 0xA);
+  expectThrowContaining<std::out_of_range>(
+      [&] { (void)readNibbleBits(bits, 2); }, "nibble offset");
+}
+
+TEST(TraceSetErrors, ShapeViolationsThrow) {
+  TraceSet ts(4);
+  expectThrowContaining<std::invalid_argument>(
+      [&] { ts.add(16, std::vector<double>(4, 0.0)); }, "class out of range");
+  expectThrowContaining<std::invalid_argument>(
+      [&] { ts.add(0, std::vector<double>(3, 0.0)); },
+      "trace length mismatch");
+  ts.add(0, std::vector<double>(4, 0.0));
+
+  TraceSet wrongSamples(5);
+  expectThrowContaining<std::invalid_argument>(
+      [&] { ts.append(wrongSamples); }, "trace set shape mismatch");
+  TraceSet wrongClasses(4, 8);
+  expectThrowContaining<std::invalid_argument>(
+      [&] { ts.append(wrongClasses); }, "trace set shape mismatch");
+  EXPECT_EQ(ts.size(), 1u);  // failed appends left the set untouched
+}
+
+// An S-box whose netlist just buffers its inputs: decode then reads the
+// buffered plaintext back, which never equals kPresentSbox[plain] (the
+// PRESENT S-box has no fixed points), so every trace's acquisition
+// self-check fails. This exercises the fail-safe path deterministically.
+class BrokenSbox final : public MaskedSbox {
+ public:
+  BrokenSbox() {
+    NetlistBuilder b;
+    for (int i = 0; i < 4; ++i) {
+      b.output(b.buf(b.input("x" + std::to_string(i))),
+               "y" + std::to_string(i));
+    }
+    nl_ = b.take();
+  }
+  SboxStyle style() const override { return SboxStyle::Lut; }
+  int randomBits() const override { return 0; }
+  std::vector<std::uint8_t> encode(std::uint8_t plain,
+                                   Prng&) const override {
+    std::vector<std::uint8_t> bits;
+    appendNibbleBits(bits, plain);
+    return bits;
+  }
+  std::uint8_t decode(const std::vector<std::uint8_t>& outputs,
+                      const std::vector<std::uint8_t>&) const override {
+    return readNibbleBits(outputs, 0);
+  }
+};
+
+TEST(AcquisitionErrors, WorkerErrorCarriesTraceIdentity) {
+  const BrokenSbox sbox;
+  const DelayModel dm(sbox.netlist());
+  const PowerModel power(sbox.netlist());
+
+  AcquisitionConfig cfg;
+  cfg.tracesPerClass = 1;
+  cfg.numThreads = 1;
+  EventSim sim(sbox.netlist(), dm);
+  try {
+    (void)acquire(sbox, sim, power, cfg);
+    FAIL() << "decode mismatch must abort acquisition";
+  } catch (const WorkerError& e) {
+    // Single worker: the failure is the very first trace, and its identity
+    // (index, class, style) is in the message.
+    EXPECT_EQ(e.index(), 0u);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("trace 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("class"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Unprotected"), std::string::npos) << msg;
+    // The root cause is nested and recoverable.
+    bool sawNested = false;
+    try {
+      std::rethrow_if_nested(e);
+    } catch (const std::exception& nested) {
+      sawNested = true;
+      EXPECT_NE(std::string(nested.what()).find("decode"), std::string::npos);
+    }
+    EXPECT_TRUE(sawNested);
+  }
+}
+
+TEST(AcquisitionErrors, ParallelFailurePrefersLowestIndex) {
+  const BrokenSbox sbox;
+  const DelayModel dm(sbox.netlist());
+  const PowerModel power(sbox.netlist());
+
+  AcquisitionConfig cfg;
+  cfg.tracesPerClass = 2;  // 32 traces over 4 workers
+  cfg.numThreads = 4;
+  EventSim sim(sbox.netlist(), dm);
+  try {
+    (void)acquire(sbox, sim, power, cfg);
+    FAIL() << "decode mismatch must abort acquisition";
+  } catch (const WorkerError& e) {
+    // Every trace fails, so each worker that gets to run fails on the FIRST
+    // item of its contiguous 8-trace block before the abort flag stops the
+    // rest. Which workers got that far depends on scheduling, but the
+    // winning index must be a block start — never an interior item, which
+    // would mean a worker kept going past a failure.
+    EXPECT_LT(e.index(), 32u);
+    EXPECT_EQ(e.index() % 8, 0u) << "index " << e.index();
+  }
+}
+
+TEST(ShardedPool, AbortStopsDoomedWorkersEarly) {
+  // Worker 0 fails instantly on item 0; the other shards observe the abort
+  // flag and skip most of their items rather than running to completion.
+  std::atomic<std::size_t> executed{0};
+  try {
+    detail::shardedFor(
+        1000, 4,
+        [&](std::uint32_t, std::size_t i) {
+          if (i == 0) throw std::runtime_error("boom");
+          ++executed;
+        },
+        [](std::size_t i) { return "item " + std::to_string(i); });
+    FAIL() << "failure must propagate";
+  } catch (const WorkerError& e) {
+    EXPECT_EQ(e.index(), 0u);
+    EXPECT_NE(std::string(e.what()).find("item 0"), std::string::npos);
+  }
+  // Not a timing guarantee, but with the flag checked before every item the
+  // pool cannot have run the full remaining 999.
+  EXPECT_LT(executed.load(), 999u);
+}
+
+}  // namespace
+}  // namespace lpa
