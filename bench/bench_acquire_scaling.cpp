@@ -3,10 +3,15 @@
 // Acquires the paper's balanced GLUT dataset at 1/2/4/hw worker threads,
 // reports traces/sec and speedup over the sequential baseline, and verifies
 // on the fly that every thread count produced the bit-identical TraceSet
-// (the determinism contract of trace/acquisition.h).
+// (the determinism contract of trace/acquisition.h). A final A/B section
+// measures the overhead of the attached metrics (observe on vs off) and
+// re-checks bit-identity across the two modes (the zero-perturbation
+// contract of obs/metrics.h).
 //
-// Usage: bench_acquire_scaling [tracesPerClass] (default 64 = 1024 traces)
+// Usage: bench_acquire_scaling [tracesPerClass] [--json p] [--trace p]
+//        [--progress]                (default tracesPerClass 64 = 1024)
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 #include <thread>
@@ -32,8 +37,16 @@ double digest(const lpa::TraceSet& ts) {
 
 int main(int argc, char** argv) {
   using namespace lpa;
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   const std::uint32_t tracesPerClass =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 64;
+      !args.positional.empty()
+          ? static_cast<std::uint32_t>(std::atoi(args.positional[0].c_str()))
+          : 64;
+
+  bench::RunScope scope("bench_acquire_scaling", args);
+  obs::RunReport& report = scope.report();
+  report.setParam("style", std::string("GLUT"));
+  report.setParam("traces_per_class", static_cast<double>(tracesPerClass));
 
   bench::header("Acquisition thread-scaling (GLUT, " +
                     std::to_string(16 * tracesPerClass) + " traces)",
@@ -43,9 +56,12 @@ int main(int argc, char** argv) {
   std::vector<std::uint32_t> counts = {1, 2, 4};
   if (hw > 4) counts.push_back(hw);
   std::printf("hardware_concurrency = %u\n\n", hw);
+  report.setParam("hardware_concurrency", static_cast<double>(hw));
 
   ExperimentConfig cfg;
   cfg.acquisition.tracesPerClass = tracesPerClass;
+  cfg.acquisition.progress = scope.progressSink();
+  report.setSeed(cfg.acquisition.seed);
   SboxExperiment exp(SboxStyle::Glut, cfg);
 
   std::printf("%8s %12s %12s %10s %12s\n", "threads", "seconds",
@@ -57,18 +73,65 @@ int main(int argc, char** argv) {
   for (std::uint32_t t : counts) {
     exp.setNumThreads(t);
     TraceSet ts(1);
-    const double secs =
-        bench::bestOf(3, [&] { ts = exp.acquireAt(0.0); });
+    double secs = 0.0;
+    {
+      obs::PhaseTimer phase(report, "acquire t=" + std::to_string(t));
+      secs = bench::bestOf(3, [&] { ts = exp.acquireAt(0.0); });
+    }
     const double dig = digest(ts);
     if (t == 1) {
       baseline = secs;
       refDigest = dig;
+      bench::DigestAccumulator acc;
+      acc.addTraceSet(ts);
+      report.setDigest(acc.hex());
     }
     const bool same = dig == refDigest;
     allIdentical = allIdentical && same;
     std::printf("%8u %12.4f %12.0f %9.2fx %12s\n", t, secs, n / secs,
                 baseline / secs, same ? "yes" : "NO");
+    report.setParam("traces_per_sec_t" + std::to_string(t), n / secs);
   }
+
+  // Zero-perturbation A/B: same acquisition with the metrics layer
+  // attached vs detached. The digests must match bit-for-bit and the
+  // attached run must stay within a few percent (acceptance: <= 5%).
+  std::printf("\nmetrics overhead (observe on vs off, %u threads):\n", hw);
+  auto makeAb = [&](bool observe) {
+    ExperimentConfig acfg;
+    acfg.acquisition.tracesPerClass = tracesPerClass;
+    acfg.acquisition.numThreads = hw;
+    acfg.observe = observe;
+    return SboxExperiment(SboxStyle::Glut, acfg);
+  };
+  SboxExperiment abOn = makeAb(true);
+  SboxExperiment abOff = makeAb(false);
+  // Interleave the repetitions (on/off pairs, min of each side) so CPU
+  // frequency / cache drift cannot bias one side of the comparison.
+  double secsOn = 1e300, secsOff = 1e300;
+  double digOn = 0.0, digOff = 0.0;
+  {
+    obs::PhaseTimer phase(report, "ab.overhead");
+    for (int rep = 0; rep < 7; ++rep) {
+      TraceSet ts(1);
+      secsOn = std::min(secsOn, bench::bestOf(1, [&] { ts = abOn.acquireAt(0.0); }));
+      digOn = digest(ts);
+      secsOff = std::min(secsOff, bench::bestOf(1, [&] { ts = abOff.acquireAt(0.0); }));
+      digOff = digest(ts);
+    }
+  }
+  const double overheadPct = (secsOn / secsOff - 1.0) * 100.0;
+  const bool abIdentical = digOn == digOff;
+  allIdentical = allIdentical && abIdentical;
+  std::printf("  on %.4fs, off %.4fs, overhead %+.2f%%, bit-ident %s\n",
+              secsOn, secsOff, overheadPct, abIdentical ? "yes" : "NO");
+  report.setParam("obs_overhead_pct", overheadPct);
+  report.setParam("obs_bit_identical", obs::Json(abIdentical));
+  report.setLeakage("glut_fresh_total",
+                    SpectralAnalysis(exp.acquireAt(0.0), 0,
+                                     EstimatorMode::Debiased)
+                        .totalLeakagePower());
+
   std::printf("\n%s\n", allIdentical
                             ? "determinism contract held for every count"
                             : "DETERMINISM VIOLATION — results differ!");

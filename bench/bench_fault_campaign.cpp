@@ -5,7 +5,8 @@
 // verifies on the fly that every thread count produced identical reports
 // and baseline traces (the campaign's determinism contract, campaign.h).
 //
-// Usage: bench_fault_campaign [tracesPerClass] (default 8)
+// Usage: bench_fault_campaign [tracesPerClass] [--json p] [--trace p]
+//        [--progress]                              (default tracesPerClass 8)
 
 #include <cstdlib>
 #include <thread>
@@ -42,8 +43,16 @@ double digest(const lpa::FaultCampaignResult& res) {
 
 int main(int argc, char** argv) {
   using namespace lpa;
+  const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   const std::uint32_t tracesPerClass =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 8;
+      !args.positional.empty()
+          ? static_cast<std::uint32_t>(std::atoi(args.positional[0].c_str()))
+          : 8;
+
+  bench::RunScope scope("bench_fault_campaign", args);
+  obs::RunReport& report = scope.report();
+  report.setParam("style", std::string("GLUT"));
+  report.setParam("traces_per_class", static_cast<double>(tracesPerClass));
 
   const ExperimentConfig ecfg;
   const auto sbox = makeSbox(SboxStyle::Glut);
@@ -54,6 +63,9 @@ int main(int argc, char** argv) {
   FaultCampaignConfig cfg;
   cfg.tracesPerClass = tracesPerClass;
   cfg.sim = ecfg.sim;
+  cfg.progress = scope.progressSink();
+  report.setSeed(cfg.seed);
+  report.setParam("num_faults", static_cast<double>(faults.size()));
 
   bench::header("Fault-campaign thread-scaling (GLUT, " +
                     std::to_string(faults.size()) + " faults x " +
@@ -73,18 +85,31 @@ int main(int argc, char** argv) {
   for (std::uint32_t t : counts) {
     cfg.numThreads = t;
     FaultCampaignResult res(power.options().numSamples);
-    const double secs = bench::bestOf(
-        2, [&] { res = runFaultCampaign(*sbox, delays, power, faults, cfg); });
+    double secs = 0.0;
+    {
+      obs::PhaseTimer phase(report, "campaign t=" + std::to_string(t));
+      secs = bench::bestOf(2, [&] {
+        res = runFaultCampaign(*sbox, delays, power, faults, cfg);
+      });
+    }
     const double dig = digest(res);
     if (t == 1) {
       baseline = secs;
       refDigest = dig;
+      bench::DigestAccumulator acc;
+      acc.add(dig);
+      acc.addTraceSet(res.baseline);
+      report.setDigest(acc.hex());
+      report.setLeakage("baseline_total", res.baselineTotalLeakage);
+      report.setLeakage("baseline_single_bit", res.baselineSingleBitLeakage);
     }
     const bool same = dig == refDigest;
     allIdentical = allIdentical && same;
     std::printf("%8u %12.4f %12.2f %9.2fx %12s\n", t, secs,
                 static_cast<double>(faults.size()) / secs, baseline / secs,
                 same ? "yes" : "NO");
+    report.setParam("faults_per_sec_t" + std::to_string(t),
+                    static_cast<double>(faults.size()) / secs);
   }
   std::printf("\n%s\n", allIdentical
                             ? "determinism contract held for every count"

@@ -4,20 +4,25 @@
 #include "aging/bti.h"
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig1_bti", bench::parseBenchArgs(argc, argv));
   bench::header("NBTI-induced Vth drift: continuous vs. alternating stress",
                 "Fig. 1");
 
   const BtiModel bti;
   // Sub-month resolution so the recovery transients are visible.
   const double step = 0.25;
+  obs::PhaseTimer phase(scope.report(), "bti.simulate");
   const auto continuous =
       bti.simulatePhases(6.0, step, [](int) { return true; });
   const auto alternating = bti.simulatePhases(6.0, step, [&](int i) {
     // One month of stress, one month of recovery, repeating.
     return (static_cast<int>(i * step) % 2) == 0;
   });
+  scope.report().setParam("continuous_final_dvth", continuous.back().driftV);
+  scope.report().setParam("alternating_final_dvth",
+                          alternating.back().driftV);
 
   std::printf("%10s %22s %22s\n", "months", "continuous dVth [V]",
               "stress/recovery dVth [V]");

@@ -4,12 +4,24 @@
 #include "bench_util.h"
 #include "trace/trace_set.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig2_classes",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("ISW average power per unmasked-input class", "Fig. 2");
 
-  SboxExperiment exp(SboxStyle::Isw);
-  const TraceSet traces = exp.acquireAt(0.0);
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
+  SboxExperiment exp(SboxStyle::Isw, cfg);
+  TraceSet traces(1);
+  {
+    obs::PhaseTimer phase(scope.report(), "acquire");
+    traces = exp.acquireAt(0.0);
+  }
+  bench::DigestAccumulator acc;
+  acc.addTraceSet(traces);
+  scope.report().setDigest(acc.hex());
   const auto means = traces.classMeans();
 
   std::printf("sample");
@@ -38,5 +50,6 @@ int main() {
   }
   std::printf("\nmax class spread %.4f at sample %u (power units)\n",
               maxSpread, argT);
+  scope.report().setParam("max_class_spread", maxSpread);
   return 0;
 }

@@ -6,15 +6,28 @@
 #include "bench_util.h"
 #include "core/leakage.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig3_convergence",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("ISW leakage coefficients vs. number of traces", "Fig. 3");
 
-  SboxExperiment exp(SboxStyle::Isw);
-  const TraceSet traces = exp.acquireAt(0.0);
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
+  SboxExperiment exp(SboxStyle::Isw, cfg);
+  TraceSet traces(1);
+  {
+    obs::PhaseTimer phase(scope.report(), "acquire");
+    traces = exp.acquireAt(0.0);
+  }
+  bench::DigestAccumulator acc;
+  acc.addTraceSet(traces);
+  scope.report().setDigest(acc.hex());
 
   // Track each nonzero coefficient at its own peak sample (found on the
   // full dataset), like reading Fig. 3's per-u curves.
+  obs::PhaseTimer analyzePhase(scope.report(), "analyze");
   const SpectralAnalysis full(traces);
   std::array<std::uint32_t, 16> peakSample{};
   for (std::uint32_t u = 1; u < 16; ++u) {
@@ -49,5 +62,7 @@ int main() {
                                       full.coefficient(u, peakSample[u])));
   }
   std::printf("\nmax |a_u(512) - a_u(1024)| over u: %.5f\n", worst);
+  scope.report().setParam("max_coeff_delta_512_1024", worst);
+  scope.report().setLeakage("isw_fresh_total", full.totalLeakagePower());
   return 0;
 }

@@ -8,12 +8,24 @@
 #include "bench_util.h"
 #include "core/leakage.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig4_coeffs",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("ISW leakage coefficients a_u(T) per sample", "Fig. 4");
 
-  SboxExperiment exp(SboxStyle::Isw);
-  const TraceSet traces = exp.acquireAt(0.0);
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
+  SboxExperiment exp(SboxStyle::Isw, cfg);
+  TraceSet traces(1);
+  {
+    obs::PhaseTimer phase(scope.report(), "acquire");
+    traces = exp.acquireAt(0.0);
+  }
+  bench::DigestAccumulator acc;
+  acc.addTraceSet(traces);
+  scope.report().setDigest(acc.hex());
   const SpectralAnalysis sa(traces);
 
   std::printf("sample");
@@ -51,5 +63,8 @@ int main() {
       "The multi-bit component is the glitch signature the paper highlights\n"
       "(their example: the conjunction of bits 1 and 2, u = 6).\n",
       arg1, best1, argM, bestM);
+  scope.report().setParam("strongest_single_bit_u", static_cast<double>(arg1));
+  scope.report().setParam("strongest_multi_bit_u", static_cast<double>(argM));
+  scope.report().setLeakage("isw_fresh_total", sa.totalLeakagePower());
   return 0;
 }

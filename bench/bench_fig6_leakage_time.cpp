@@ -3,8 +3,10 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig6_leakage_time",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("Leakage power per sampling point (first 20 samples)",
                 "Fig. 6");
 
@@ -12,12 +14,17 @@ int main() {
   std::vector<std::string> names;
   std::vector<std::vector<double>> waves;
   std::vector<double> totals;
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
   for (SboxStyle s : allSboxStyles()) {
-    SboxExperiment exp(s);
+    obs::PhaseTimer phase(scope.report(), bench::styleName(s));
+    SboxExperiment exp(s, cfg);
     const SpectralAnalysis sa = exp.analyzeAt(0.0, EstimatorMode::Debiased);
     names.push_back(bench::styleName(s));
     waves.push_back(sa.leakagePowerPerSample());
     totals.push_back(sa.totalLeakagePower());
+    scope.report().setLeakage(names.back() + ".fresh_total", totals.back());
   }
 
   std::printf("sample");

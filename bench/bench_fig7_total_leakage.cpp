@@ -5,17 +5,24 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig7_total_leakage",
+                        bench::parseBenchArgs(argc, argv));
   bench::header(
       "Total leakage power, fresh and aged, single-bit vs multi-bit",
       "Fig. 7");
+
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
 
   std::printf("%-16s %6s %14s %14s %14s %10s\n", "impl", "months", "total",
               "multi-bit", "single-bit", "1bit/total");
   std::vector<double> protRatio, unprotRatio;
   for (SboxStyle s : allSboxStyles()) {
-    SboxExperiment exp(s);
+    obs::PhaseTimer phase(scope.report(), bench::styleName(s));
+    SboxExperiment exp(s, cfg);
     for (double months : bench::figureAges()) {
       const SpectralAnalysis sa =
           exp.analyzeAt(months, EstimatorMode::Debiased);
@@ -25,6 +32,9 @@ int main() {
       std::printf("%-16s %6.0f %14.2f %14.2f %14.2f %9.2f%%\n",
                   bench::styleName(s).c_str(), months, total, multi, single,
                   100.0 * sa.singleBitToTotalRatio());
+      scope.report().setLeakage(
+          bench::styleName(s) + ".month" + std::to_string(
+              static_cast<int>(months)), total);
       if (months > 0.0) {
         if (s == SboxStyle::Lut || s == SboxStyle::Opt) {
           unprotRatio.push_back(sa.singleBitToTotalRatio());

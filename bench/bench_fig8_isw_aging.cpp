@@ -3,17 +3,27 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_fig8_isw_aging",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("ISW leakage power over 4 years of usage", "Fig. 8");
 
-  SboxExperiment exp(SboxStyle::Isw);
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = scope.progressSink();
+  scope.report().setSeed(cfg.acquisition.seed);
+  SboxExperiment exp(SboxStyle::Isw, cfg);
   std::vector<std::vector<double>> waves;
   std::vector<double> totals;
   for (double months : bench::figureAges()) {
+    obs::PhaseTimer phase(scope.report(),
+                          "month " + std::to_string(static_cast<int>(months)));
     const SpectralAnalysis sa = exp.analyzeAt(months, EstimatorMode::Debiased);
     waves.push_back(sa.leakagePowerPerSample());
     totals.push_back(sa.totalLeakagePower());
+    scope.report().setLeakage(
+        "isw.month" + std::to_string(static_cast<int>(months)),
+        totals.back());
   }
 
   std::printf("sample");

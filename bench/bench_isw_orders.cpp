@@ -9,16 +9,21 @@
 #include "sboxes/isw_any_order.h"
 #include "trace/acquisition.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_isw_orders",
+                        bench::parseBenchArgs(argc, argv));
   bench::header("ISW leakage vs masking order (extension)",
                 "Section II.A discussion");
 
   std::printf("%6s %10s %10s %12s %14s %12s\n", "order", "shares",
               "area[GE]", "rand bits", "total leakage", "1-bit share");
   for (int d = 1; d <= 3; ++d) {
+    obs::PhaseTimer phase(scope.report(), "order " + std::to_string(d));
     const auto sbox = makeIswSboxOfOrder(d);
     ExperimentConfig cfg;
+    cfg.acquisition.progress = scope.progressSink();
+    scope.report().setSeed(cfg.acquisition.seed);
     const DelayModel delays(sbox->netlist(), cfg.delay);
     const PowerModel power(sbox->netlist(), cfg.power);
     EventSim sim(sbox->netlist(), delays, cfg.sim);
@@ -29,6 +34,8 @@ int main() {
                 stats.equivalentGates, sbox->randomBits(),
                 sa.totalLeakagePower(),
                 100.0 * sa.singleBitToTotalRatio());
+    scope.report().setLeakage("isw_order" + std::to_string(d) + ".total",
+                              sa.totalLeakagePower());
   }
   std::printf(
       "\nReading: area and randomness grow ~quadratically with the order;\n"

@@ -1,9 +1,14 @@
 // Performance microbenchmarks (google-benchmark): throughput of the hot
 // kernels -- WHT, event-driven simulation per implementation, PRESENT
 // encryption, and a full leakage-analysis pipeline at reduced trace count.
+//
+// Accepts the shared observability flags (--json/--trace/--progress,
+// bench_util.h) in addition to google-benchmark's own; the run report
+// carries the metric snapshot accumulated across all microbenchmarks.
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "core/experiment.h"
 #include "core/wht.h"
 #include "crypto/present.h"
@@ -76,4 +81,23 @@ BENCHMARK(BM_LeakagePipelineIsw);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip the shared observability flags, hand everything else (including
+  // argv[0]) to google-benchmark untouched.
+  const lpa::bench::BenchArgs args = lpa::bench::parseBenchArgs(argc, argv);
+  lpa::bench::RunScope scope("bench_perf", args);
+  {
+    lpa::obs::PhaseTimer phase(scope.report(), "microbenchmarks");
+    std::vector<char*> bmArgv = {argv[0]};
+    std::vector<std::string> keep = args.positional;  // stable storage
+    for (std::string& s : keep) bmArgv.push_back(s.data());
+    int bmArgc = static_cast<int>(bmArgv.size());
+    benchmark::Initialize(&bmArgc, bmArgv.data());
+    if (benchmark::ReportUnrecognizedArguments(bmArgc, bmArgv.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -6,17 +6,23 @@
 #include "netlist/stats.h"
 #include "sboxes/masked_sbox.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lpa;
+  bench::RunScope scope("bench_table1", bench::parseBenchArgs(argc, argv));
   bench::header("Gate-level specification of the targeted S-Box implementations",
                 "Table I");
 
   std::vector<std::pair<std::string, NetlistStats>> columns;
   std::vector<int> randomBits;
-  for (SboxStyle s : allSboxStyles()) {
-    const auto sbox = makeSbox(s);
-    columns.emplace_back(bench::styleName(s), computeStats(sbox->netlist()));
-    randomBits.push_back(sbox->randomBits());
+  {
+    obs::PhaseTimer phase(scope.report(), "build netlists");
+    for (SboxStyle s : allSboxStyles()) {
+      const auto sbox = makeSbox(s);
+      columns.emplace_back(bench::styleName(s), computeStats(sbox->netlist()));
+      randomBits.push_back(sbox->randomBits());
+      scope.report().setParam("equ_gates." + bench::styleName(s),
+                              columns.back().second.equivalentGates);
+    }
   }
   std::printf("%s", formatStatsTable(columns).c_str());
   std::printf("# Random    ");

@@ -2,14 +2,26 @@
 // Shared helpers for the reproduction benches. Each bench binary regenerates
 // one table or figure of the paper and prints it as aligned text (and the
 // figure benches additionally emit CSV-ish rows easy to plot).
+//
+// Observability flags (every bench accepts them, see DESIGN.md §8):
+//   --json <path>    write a machine-readable run report (lpa-run-report/1)
+//   --trace <path>   write a Chrome trace-event JSON (chrome://tracing)
+//   --progress       render a live progress line on stderr
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
+#include "obs/progress.h"
+#include "obs/run_report.h"
+#include "obs/trace_span.h"
 
 namespace lpa::bench {
 
@@ -57,5 +69,127 @@ inline const std::vector<double>& figureAges() {
 inline std::string styleName(SboxStyle s) {
   return std::string(sboxStyleName(s));
 }
+
+/// Observability flags shared by every bench/example binary, plus whatever
+/// positional arguments the binary defines for itself.
+struct BenchArgs {
+  std::string jsonPath;   ///< --json <path>: run-report destination
+  std::string tracePath;  ///< --trace <path>: Chrome trace destination
+  bool progress = false;  ///< --progress: live stderr progress line
+  std::vector<std::string> positional;  ///< everything unrecognized, in order
+};
+
+/// Extracts the shared observability flags; unknown flags and positionals
+/// pass through in `positional`. Exits with a usage message on a flag that
+/// is missing its value.
+inline BenchArgs parseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a path argument\n", argv[0],
+                     flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--json") {
+      args.jsonPath = value("--json");
+    } else if (a == "--trace") {
+      args.tracePath = value("--trace");
+    } else if (a == "--progress") {
+      args.progress = true;
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+/// One bench run's observability scope: owns the RunReport, enables the
+/// Chrome trace collector when requested, and on destruction snapshots the
+/// global metrics registry into the report and writes report/trace files.
+/// IO failures are printed to stderr, never thrown (a bench's results on
+/// stdout should survive an unwritable report path).
+class RunScope {
+ public:
+  RunScope(std::string name, BenchArgs args)
+      : args_(std::move(args)), report_(std::move(name)) {
+    if (!args_.tracePath.empty()) {
+      obs::TraceCollector::global().clear();
+      obs::TraceCollector::global().enable();
+    }
+  }
+
+  ~RunScope() {
+    report_.setMetrics(obs::MetricsRegistry::global().snapshot());
+    if (!args_.jsonPath.empty()) {
+      try {
+        report_.writeTo(args_.jsonPath);
+        std::fprintf(stderr, "run report: %s\n", args_.jsonPath.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "run report failed: %s\n", e.what());
+      }
+    }
+    if (!args_.tracePath.empty()) {
+      try {
+        obs::TraceCollector::global().writeTo(args_.tracePath);
+        std::fprintf(stderr, "chrome trace: %s\n", args_.tracePath.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "chrome trace failed: %s\n", e.what());
+      }
+      obs::TraceCollector::global().disable();
+    }
+  }
+
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  obs::RunReport& report() { return report_; }
+  const BenchArgs& args() const { return args_; }
+
+  /// Progress sink for AcquisitionConfig/FaultCampaignConfig: a live
+  /// stderr line under --progress, empty (no reporting) otherwise.
+  obs::ProgressFn progressSink() const {
+    return args_.progress ? obs::stderrProgressLine() : obs::ProgressFn();
+  }
+
+ private:
+  BenchArgs args_;
+  obs::RunReport report_;
+};
+
+/// Order-sensitive FNV-1a digest over the exact bit patterns of a double
+/// sequence — the determinism digest reported by benches (bit-identical
+/// traces <=> equal digest strings).
+class DigestAccumulator {
+ public:
+  void add(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int b = 0; b < 64; b += 8) {
+      hash_ ^= (bits >> b) & 0xFF;
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  void addTraceSet(const TraceSet& traces) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      add(static_cast<double>(traces.label(i)));
+      const double* x = traces.trace(i);
+      for (std::uint32_t s = 0; s < traces.numSamples(); ++s) add(x[s]);
+    }
+  }
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash_));
+    return buf;
+  }
+
+ private:
+  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
+};
 
 }  // namespace lpa::bench

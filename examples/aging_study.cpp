@@ -10,12 +10,19 @@
 #include <cstdio>
 
 #include "core/experiment.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 
 int main() {
   using namespace lpa;
 
+  // Live acquisition progress on stderr; every SboxExperiment below routes
+  // its sim.*/power.* counters into the global registry (observe default).
+  ExperimentConfig cfg;
+  cfg.acquisition.progress = obs::stderrProgressLine();
+
   std::printf("== per-gate degradation of the ISW circuit ==\n");
-  SboxExperiment isw(SboxStyle::Isw);
+  SboxExperiment isw(SboxStyle::Isw, cfg);
   const StressProfile& stress = isw.stressProfile();
   double maxDuty = 0.0, maxToggles = 0.0;
   for (std::size_t i = 0; i < stress.dutyHigh.size(); ++i) {
@@ -43,7 +50,7 @@ int main() {
 
   std::vector<std::pair<std::string, std::vector<double>>> table;
   for (SboxStyle style : allSboxStyles()) {
-    SboxExperiment exp(style);
+    SboxExperiment exp(style, cfg);
     std::vector<double> leak;
     std::printf("%-16s", std::string(sboxStyleName(style)).c_str());
     for (double m : {0.0, 12.0, 24.0, 36.0, 48.0}) {
@@ -74,5 +81,23 @@ int main() {
       "(the paper's takeaway: unlike dual-rail hiding, masking does not\n"
       "become more vulnerable as the device wears out)\n",
       preserved ? "YES" : "NO");
+
+  // What the study cost, from the instrumentation layer (obs/metrics.h).
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::printf(
+      "\ninstrumentation totals: %llu sim runs, %llu events (%llu committed, "
+      "%llu glitch-filtered),\n"
+      "%llu traces sampled, %llu WHT analyses, peak queue depth %.0f\n",
+      static_cast<unsigned long long>(snap.counterOr("sim.runs", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("sim.events_processed", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("sim.transitions_committed", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("sim.glitches_inertial_filtered", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("power.traces_sampled", 0)),
+      static_cast<unsigned long long>(snap.counterOr("wht.analyses", 0)),
+      snap.gaugeOr("sim.peak_queue_depth", 0.0));
   return 0;
 }

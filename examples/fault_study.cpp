@@ -17,6 +17,8 @@
 
 #include "core/experiment.h"
 #include "fault/campaign.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 
 int main(int argc, char** argv) {
   using namespace lpa;
@@ -30,6 +32,8 @@ int main(int argc, char** argv) {
   // other study in this repo.
   const ExperimentConfig ecfg;
   cfg.sim = ecfg.sim;
+  // Live per-fault progress on stderr (stdout keeps the clean table).
+  cfg.progress = obs::stderrProgressLine();
 
   std::printf("stuck-at campaign on all mask/randomness wires, %u traces/"
               "class per fault\n\n",
@@ -40,7 +44,8 @@ int main(int argc, char** argv) {
   for (SboxStyle style : allSboxStyles()) {
     const auto sbox = makeSbox(style);
     const DelayModel delays(sbox->netlist(), ecfg.delay);
-    const PowerModel power(sbox->netlist(), ecfg.power);
+    PowerModel power(sbox->netlist(), ecfg.power);
+    power.attachMetrics(&obs::MetricsRegistry::global());
 
     const std::vector<FaultSpec> faults =
         stuckAtFaults(maskWireNets(*sbox));
@@ -89,5 +94,30 @@ int main(int argc, char** argv) {
       "   oscillation); stuck-at faults cannot oscillate, so the column is\n"
       "   zero here -- see tests/test_fault.cpp for a bridging-fault\n"
       "   example that does diverge.\n");
+
+  // Campaign-wide tallies from the instrumentation layer (obs/metrics.h):
+  // the same numbers the per-style rows aggregated, but read back from the
+  // global registry the campaign runner counts into.
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::printf(
+      "\ninstrumentation totals (obs::MetricsRegistry):\n"
+      "  campaigns %llu, faults run %llu, sim events %llu, traces sampled "
+      "%llu\n"
+      "  outcomes: %llu masked-out, %llu detected, %llu silent, %llu "
+      "diverged\n",
+      static_cast<unsigned long long>(snap.counterOr("fault.campaigns", 0)),
+      static_cast<unsigned long long>(snap.counterOr("fault.faults_run", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("sim.events_processed", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("power.traces_sampled", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("fault.outcome.masked_out", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("fault.outcome.detected_by_decode", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("fault.outcome.silent_corruption", 0)),
+      static_cast<unsigned long long>(
+          snap.counterOr("fault.outcome.diverged", 0)));
   return 0;
 }

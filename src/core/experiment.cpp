@@ -1,5 +1,8 @@
 #include "core/experiment.h"
 
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+
 namespace lpa {
 
 SboxExperiment::SboxExperiment(SboxStyle style, const ExperimentConfig& cfg)
@@ -7,13 +10,21 @@ SboxExperiment::SboxExperiment(SboxStyle style, const ExperimentConfig& cfg)
       sbox_(makeSbox(style)),
       delays_(sbox_->netlist(), cfg.delay),
       power_(sbox_->netlist(), cfg.power),
-      sim_(sbox_->netlist(), delays_, cfg.sim) {}
+      sim_(sbox_->netlist(), delays_, cfg.sim) {
+  if (cfg_.observe) {
+    sim_.attachMetrics(&obs::MetricsRegistry::global());
+    power_.attachMetrics(&obs::MetricsRegistry::global());
+  }
+}
 
 const StressProfile& SboxExperiment::stressProfile() {
   if (!stress_) {
+    obs::Span span("stress.profile (" + std::string(sbox_->name()) + ", " +
+                   std::to_string(cfg_.stressCycles) + " cycles)");
     StressAccumulator acc(sbox_->netlist().numGates());
     Prng rng(cfg_.stressSeed);
     EventSim sim(sbox_->netlist(), delays_, cfg_.sim);
+    if (cfg_.observe) sim.attachMetrics(&obs::MetricsRegistry::global());
     // Representative field operation: random texts with fresh masks each
     // cycle; duty comes from the settled states, toggles from the events.
     std::vector<std::uint8_t> prev = sbox_->encode(rng.nibble(), rng);
@@ -35,8 +46,10 @@ const StressProfile& SboxExperiment::stressProfile() {
 }
 
 AgingFactors SboxExperiment::agingFactorsAt(double months) {
+  const StressProfile& profile = stressProfile();
+  obs::Span span("aging.evaluate (" + std::to_string(months) + " months)");
   const AgingModel model(cfg_.aging);
-  return model.evaluate(stressProfile(), months);
+  return model.evaluate(profile, months);
 }
 
 void SboxExperiment::applyAge(double months) {

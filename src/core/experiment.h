@@ -27,6 +27,11 @@ struct ExperimentConfig {
   SimOptions sim;
   std::uint32_t stressCycles = 512;       ///< cycles for duty/toggle profile
   std::uint64_t stressSeed = 0x57E55ULL;
+  /// Attach the simulator and power model to obs::MetricsRegistry::global()
+  /// (sim.* / power.* counters). A pure sink: results are bit-identical
+  /// with observation on or off (zero-perturbation, obs/metrics.h); set
+  /// false to skip even the relaxed-atomic counting.
+  bool observe = true;
 
   /// The defaults below are the calibrated operating point that reproduces
   /// the paper's leakage ordering (see DESIGN.md section 5 and

@@ -5,12 +5,17 @@
 #include <stdexcept>
 
 #include "core/wht.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 
 namespace lpa {
 
 SpectralAnalysis::SpectralAnalysis(const TraceSet& traces, std::size_t firstN,
                                    EstimatorMode mode)
     : numSamples_(traces.numSamples()), mode_(mode) {
+  obs::Span span("wht.analysis (" + std::to_string(traces.size()) +
+                 " traces)");
+  obs::MetricsRegistry::global().counter("wht.analyses").add(1);
   if (traces.numClasses() != 16) {
     throw std::invalid_argument("spectral analysis expects 16 classes");
   }
@@ -42,6 +47,7 @@ SpectralAnalysis::SpectralAnalysis(const TraceSet& traces, std::size_t firstN,
     const std::array<double, 16> a = whtCoefficients16(f);
     for (std::uint32_t u = 0; u < 16; ++u) coeff_[u][t] = a[u];
   }
+  obs::MetricsRegistry::global().counter("wht.transforms").add(numSamples_);
 
   // Mask-sampling noise floor: Var(a_u_hat) = (1/16) sum_c Var_c / N_c,
   // identical for every u by orthonormality.

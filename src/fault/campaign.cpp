@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "netlist/validate.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "trace/sharded_pool.h"
 
 namespace lpa {
@@ -79,16 +81,23 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
   const SimOptions simOpts = withBudget(cfg.sim, cfg.maxEventsPerRun);
   FaultCampaignResult result(power.options().numSamples);
 
+  obs::MetricsRegistry* registry =
+      cfg.observe ? &obs::MetricsRegistry::global() : nullptr;
+  if (registry) registry->counter("fault.campaigns").add(1);
+
   // Baseline: the plain acquisition protocol, on the un-faulted design but
   // under the same watchdog budget — proving the watchdog is behaviour-
   // preserving on convergent netlists.
   {
+    obs::Span span("campaign.baseline (" + std::string(sbox.name()) + ")");
     AcquisitionConfig acq;
     acq.tracesPerClass = cfg.tracesPerClass;
     acq.initialValue = cfg.initialValue;
     acq.seed = cfg.seed;
     acq.numThreads = cfg.numThreads;
+    acq.progress = cfg.progress;
     EventSim sim(base, delays, simOpts);
+    sim.attachMetrics(registry);
     result.baseline = acquire(sbox, sim, power, acq);
     if (cfg.analyzeLeakage) {
       const SpectralAnalysis sa(result.baseline, 0, cfg.estimator);
@@ -108,6 +117,25 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
   const std::uint64_t faultDomain =
       deriveStreamSeed(cfg.seed, kFaultDomainStream);
 
+  obs::Span faultsSpan("campaign.faults (" + std::to_string(faults.size()) +
+                       " faults, style " + std::string(sbox.name()) + ")");
+  obs::ProgressMeter meter("fault campaign", faults.size(), cfg.progress);
+
+  // Resolve outcome handles once; workers then only do relaxed adds.
+  struct OutcomeCounters {
+    obs::Counter maskedOut, detectedByDecode, silentCorruption, diverged;
+    obs::Counter faultsRun;
+  } outcome;
+  if (registry) {
+    outcome.maskedOut = registry->counter("fault.outcome.masked_out");
+    outcome.detectedByDecode =
+        registry->counter("fault.outcome.detected_by_decode");
+    outcome.silentCorruption =
+        registry->counter("fault.outcome.silent_corruption");
+    outcome.diverged = registry->counter("fault.outcome.diverged");
+    outcome.faultsRun = registry->counter("fault.faults_run");
+  }
+
   const auto runOneFault = [&](std::uint32_t, std::size_t j) {
     const FaultSpec& spec = faults[j];
     FaultReport report;
@@ -116,6 +144,7 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
 
     FaultedDesign design = injector.apply(spec);
     EventSim sim(design.netlist, design.delays, simOpts);
+    sim.attachMetrics(registry);
 
     // Everything below depends only on (cfg.seed, j, i): per-fault seed,
     // its schedule stream, and per-trace streams.
@@ -168,6 +197,13 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
     }
 
     report.classification = worstOf(report.counts);
+    // Per-trace outcome tallies, one relaxed add per outcome per fault
+    // (null handles no-op when cfg.observe is off).
+    outcome.maskedOut.add(report.counts.maskedOut);
+    outcome.detectedByDecode.add(report.counts.detectedByDecode);
+    outcome.silentCorruption.add(report.counts.silentCorruption);
+    outcome.diverged.add(report.counts.diverged);
+    outcome.faultsRun.add(1);
     if (cfg.analyzeLeakage && traces.size() > 0) {
       const SpectralAnalysis sa(traces, 0, cfg.estimator);
       report.totalLeakage = sa.totalLeakagePower();
@@ -184,7 +220,8 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
 
   detail::shardedFor(faults.size(),
                      resolveWorkerThreads(cfg.numThreads, faults.size()),
-                     runOneFault, describe);
+                     runOneFault, describe, &meter, "fault");
+  meter.finish();
   return result;
 }
 

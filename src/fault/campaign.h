@@ -88,6 +88,14 @@ struct FaultCampaignConfig {
   bool analyzeLeakage = true;   ///< fill the per-fault WHT leakage fields
   bool keepFaultTraces = false; ///< retain each fault's TraceSet
   EstimatorMode estimator = EstimatorMode::Debiased;
+  /// Route campaign instrumentation (sim.* counters of every faulted run,
+  /// fault.outcome.* tallies) into obs::MetricsRegistry::global(). A pure
+  /// sink — results are bit-identical either way (obs/metrics.h).
+  bool observe = true;
+  /// Optional progress sink (obs/progress.h), stepped once per finished
+  /// fault (and forwarded to the baseline acquisition); returning false
+  /// aborts the campaign cooperatively (throws obs::ProgressAborted).
+  obs::ProgressFn progress;
 };
 
 struct FaultCampaignResult {

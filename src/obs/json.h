@@ -1,0 +1,104 @@
+#pragma once
+// Minimal JSON document model with a writer and a recursive-descent parser,
+// serving the observability layer: run reports and Chrome trace files are
+// emitted through it, and the test suite parses them back to check schema
+// and span invariants. Deliberately not a general-purpose library:
+//
+//   * numbers are doubles (integers round-trip exactly up to 2^53 and are
+//     printed without an exponent);
+//   * strings are UTF-8 passed through verbatim; \uXXXX escapes decode to
+//     UTF-8 on parse, and control characters escape on write;
+//   * object keys keep insertion order, so emitted documents are stable
+//     across runs (a requirement for determinism digests of reports).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lpa::obs {
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : Json(static_cast<double>(i)) {}
+  Json(unsigned u) : Json(static_cast<double>(u)) {}
+  Json(std::int64_t i) : Json(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : Json(static_cast<double>(u)) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::Array;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::Object;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool isNull() const { return type_ == Type::Null; }
+  bool isBool() const { return type_ == Type::Bool; }
+  bool isNumber() const { return type_ == Type::Number; }
+  bool isString() const { return type_ == Type::String; }
+  bool isArray() const { return type_ == Type::Array; }
+  bool isObject() const { return type_ == Type::Object; }
+
+  bool asBool() const { return bool_; }
+  double asNumber() const { return num_; }
+  const std::string& asString() const { return str_; }
+
+  /// Array element access / append. `push_back` promotes null to array.
+  std::size_t size() const {
+    return type_ == Type::Object ? items_.size() : elems_.size();
+  }
+  const Json& at(std::size_t i) const { return elems_[i]; }
+  const std::vector<Json>& elements() const { return elems_; }
+  void push_back(Json v) {
+    if (type_ == Type::Null) type_ = Type::Array;
+    elems_.push_back(std::move(v));
+  }
+
+  /// Object access. `operator[]` get-or-inserts (promoting null to object);
+  /// `find` returns nullptr when the key is absent.
+  Json& operator[](const std::string& key);
+  const Json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return items_;
+  }
+
+  /// Serialize. indent < 0: compact single line; otherwise pretty-printed
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses `text` (one complete document, trailing whitespace allowed).
+  /// Throws std::runtime_error with byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+  /// Semantic equality: objects compare key-set-wise (order-insensitive),
+  /// numbers exactly (reports round-trip through the writer/parser, which
+  /// is lossless for the doubles we emit).
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+ private:
+  void dumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> elems_;
+  std::vector<std::pair<std::string, Json>> items_;
+};
+
+}  // namespace lpa::obs

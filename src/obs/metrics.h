@@ -1,0 +1,204 @@
+#pragma once
+// Thread-safe metrics registry: named counters, gauges, and histograms with
+// cheap relaxed-atomic updates on hot paths and a consistent snapshot API.
+//
+// ## Zero-perturbation contract
+//
+// Observability must never change what the pipeline computes. Instruments
+// therefore (a) never consume PRNG streams, (b) never synchronize beyond a
+// relaxed atomic (no ordering the simulation could observe), and (c) are
+// pure sinks: no simulation code path reads a metric back. With metrics
+// attached or detached — or the whole layer compiled out via
+// LPA_OBS_DISABLED — traces and leakage values are bit-identical, which
+// tests/test_obs.cpp enforces.
+//
+// ## Handles and cells
+//
+// `counter()/gauge()/histogram()` get-or-create an instrument under a mutex
+// (registration is rare) and return a trivially-copyable *handle* wrapping a
+// pointer to the instrument's storage cell. Updating through a handle is
+// lock-free. A default-constructed (null) handle is a no-op sink, which is
+// how components represent "detached".
+//
+// Every cell is padded to a cache line (alignas 64) so hot counters updated
+// from different worker threads never false-share; per-thread accumulation
+// blocks (e.g. EventSim's SimStats) follow the same rule and flush here in
+// one relaxed add per run, not per event.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lpa::obs {
+
+#if defined(LPA_OBS_DISABLED)
+inline constexpr bool kObsCompiledIn = false;
+#else
+inline constexpr bool kObsCompiledIn = true;
+#endif
+
+namespace detail {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+struct alignas(kCacheLineBytes) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct alignas(kCacheLineBytes) GaugeCell {
+  std::atomic<double> value{0.0};
+};
+
+/// Log2-bucketed histogram: bucket i counts samples with upper bound
+/// 2^(i - kBucketBias); the last bucket is +inf. Sum/min/max are tracked
+/// exactly (CAS loops), bucket counts with relaxed adds.
+struct alignas(kCacheLineBytes) HistogramCell {
+  static constexpr int kBuckets = 64;
+  static constexpr int kBucketBias = 20;  // first finite bound 2^-20
+
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  // +/-inf sentinels make the CAS min/max race-free for the first sample;
+  // snapshot() reports 0 while count == 0.
+  std::atomic<double> minValue{std::numeric_limits<double>::infinity()};
+  std::atomic<double> maxValue{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::uint64_t> buckets[kBuckets]{};
+};
+
+int histogramBucket(double v);
+
+}  // namespace detail
+
+/// Monotonic counter handle. Null handle (default-constructed) is a no-op.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n) const {
+    if constexpr (kObsCompiledIn) {
+      if (cell_) cell_->value.fetch_add(n, std::memory_order_relaxed);
+    } else {
+      (void)n;
+    }
+  }
+  void increment() const { add(1); }
+  std::uint64_t value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterCell* c) : cell_(c) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-value gauge with monotone max/min helpers. Null handle = no-op.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void set(double v) const {
+    if constexpr (kObsCompiledIn) {
+      if (cell_) cell_->value.store(v, std::memory_order_relaxed);
+    } else {
+      (void)v;
+    }
+  }
+  /// Raises the gauge to `v` if larger (for peak-depth style metrics).
+  void recordMax(double v) const;
+  /// Lowers the gauge to `v` if smaller (for headroom style metrics).
+  void recordMin(double v) const;
+  double value() const {
+    return cell_ ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(detail::GaugeCell* c) : cell_(c) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Distribution sink (log2 buckets + exact count/sum/min/max).
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(double v) const;
+  std::uint64_t count() const {
+    return cell_ ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  explicit operator bool() const { return cell_ != nullptr; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(detail::HistogramCell* c) : cell_(c) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Non-empty log2 buckets as (upper bound, count); +inf bound rendered
+  /// as the JSON string "inf".
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Point-in-time copy of every instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  std::uint64_t counterOr(std::string_view name, std::uint64_t fallback) const;
+  double gaugeOr(std::string_view name, double fallback) const;
+  Json toJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create. Handles stay valid for the registry's lifetime; a name
+  /// always maps to the same cell, so concurrent registration of the same
+  /// name from many threads yields handles onto one shared instrument.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument (registrations and handles stay valid).
+  /// Benches call this between configurations to scope their report.
+  void reset();
+
+  /// The process-wide default registry most components attach to.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mu_;
+  // Deques never relocate elements; cells are cache-line aligned so even
+  // deque-adjacent cells occupy distinct lines.
+  std::deque<detail::CounterCell> counterCells_;
+  std::deque<detail::GaugeCell> gaugeCells_;
+  std::deque<detail::HistogramCell> histogramCells_;
+  std::map<std::string, detail::CounterCell*, std::less<>> counters_;
+  std::map<std::string, detail::GaugeCell*, std::less<>> gauges_;
+  std::map<std::string, detail::HistogramCell*, std::less<>> histograms_;
+};
+
+}  // namespace lpa::obs

@@ -1,0 +1,94 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+namespace lpa::obs {
+
+ProgressAborted::ProgressAborted(std::string_view label, std::uint64_t done,
+                                 std::uint64_t total)
+    : std::runtime_error("aborted by progress sink: " + std::string(label) +
+                         " at " + std::to_string(done) + "/" +
+                         std::to_string(total)),
+      done_(done),
+      total_(total) {}
+
+ProgressMeter::ProgressMeter(std::string label, std::uint64_t total,
+                             ProgressFn fn, double minIntervalSec)
+    : label_(std::move(label)),
+      total_(total),
+      fn_(std::move(fn)),
+      minIntervalSec_(minIntervalSec),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressMeter::step(std::uint64_t n) {
+  const std::uint64_t done =
+      done_.fetch_add(n, std::memory_order_relaxed) + n;
+  if (!fn_) return;
+  emit(done, /*force=*/done >= total_);
+}
+
+void ProgressMeter::finish() {
+  if (!fn_) return;
+  emit(done_.load(std::memory_order_relaxed), /*force=*/true);
+}
+
+void ProgressMeter::emit(std::uint64_t done, bool force) {
+  // try_lock keeps workers from queueing on the render path; a skipped
+  // intermediate update is indistinguishable from rate limiting. Forced
+  // (final) updates block on the lock so they are never lost.
+  std::unique_lock<std::mutex> lk(emitMu_, std::defer_lock);
+  if (force) {
+    lk.lock();
+  } else if (!lk.try_lock()) {
+    return;
+  }
+  if (finished_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (!force && lastEmitSec_ >= 0.0 &&
+      elapsed - lastEmitSec_ < minIntervalSec_) {
+    return;
+  }
+  lastEmitSec_ = elapsed;
+  ProgressUpdate u;
+  u.label = label_;
+  u.done = done;
+  u.total = total_;
+  u.elapsedSec = elapsed;
+  u.etaSec = done > 0 && total_ >= done
+                 ? elapsed / static_cast<double>(done) *
+                       static_cast<double>(total_ - done)
+                 : -1.0;
+  if (!fn_(u)) abort_.store(true, std::memory_order_relaxed);
+  if (force && done >= total_) finished_ = true;
+}
+
+ProgressFn stderrProgressLine() {
+  return [](const ProgressUpdate& u) {
+    const double pct = u.total
+                           ? 100.0 * static_cast<double>(u.done) /
+                                 static_cast<double>(u.total)
+                           : 100.0;
+    if (u.etaSec >= 0.0 && u.done < u.total) {
+      std::fprintf(stderr, "\r%-14s %llu/%llu (%5.1f%%)  %.1fs elapsed, eta "
+                           "%.1fs   ",
+                   std::string(u.label).c_str(),
+                   static_cast<unsigned long long>(u.done),
+                   static_cast<unsigned long long>(u.total), pct, u.elapsedSec,
+                   u.etaSec);
+    } else {
+      std::fprintf(stderr, "\r%-14s %llu/%llu (%5.1f%%)  %.1fs elapsed      "
+                           "       ",
+                   std::string(u.label).c_str(),
+                   static_cast<unsigned long long>(u.done),
+                   static_cast<unsigned long long>(u.total), pct,
+                   u.elapsedSec);
+    }
+    if (u.done >= u.total) std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    return true;
+  };
+}
+
+}  // namespace lpa::obs

@@ -1,0 +1,158 @@
+#include "obs/run_report.h"
+
+#include <cstdio>
+#include <ctime>
+#include <stdexcept>
+
+#ifndef LPA_GIT_DESCRIBE
+#define LPA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace lpa::obs {
+
+RunReport::RunReport(std::string name) : name_(std::move(name)) {}
+
+void RunReport::setParam(const std::string& key, Json value) {
+  params_[key] = std::move(value);
+}
+
+void RunReport::addPhase(const std::string& name, double wallMs,
+                         double cpuMs) {
+  Json p = Json::object();
+  p["name"] = Json(name);
+  p["wall_ms"] = Json(wallMs);
+  p["cpu_ms"] = Json(cpuMs);
+  phases_.push_back(std::move(p));
+}
+
+void RunReport::setLeakage(const std::string& key, double value) {
+  leakage_[key] = Json(value);
+}
+
+void RunReport::setDigest(double digest) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", digest);
+  digest_ = buf;
+}
+
+void RunReport::setMetrics(const MetricsSnapshot& snapshot) {
+  metrics_ = snapshot.toJson();
+}
+
+const char* RunReport::gitDescribe() { return LPA_GIT_DESCRIBE; }
+
+Json RunReport::toJson() const {
+  Json j = Json::object();
+  j["schema"] = schemaId();
+  j["name"] = Json(name_);
+  j["git"] = gitDescribe();
+  j["timestamp_unix"] = Json(static_cast<double>(std::time(nullptr)));
+  j["seed"] = Json(seed_);
+  j["params"] = params_;
+  j["phases"] = phases_;
+  Json metrics = metrics_;
+  if (!metrics.isObject()) metrics = MetricsSnapshot{}.toJson();
+  j["metrics"] = std::move(metrics);
+  j["leakage"] = leakage_;
+  j["determinism_digest"] = Json(digest_);
+  return j;
+}
+
+void RunReport::writeTo(const std::string& path) const {
+  const std::string text = toJson().dump(1) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    throw std::runtime_error("cannot open run-report output file: " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) {
+    throw std::runtime_error("short write to run-report file: " + path);
+  }
+}
+
+std::string RunReport::validate(const Json& j) {
+  if (!j.isObject()) return "document is not an object";
+  const auto str = [&](const char* key) -> std::string {
+    const Json* v = j.find(key);
+    if (!v) return std::string("missing key: ") + key;
+    if (!v->isString()) return std::string(key) + " is not a string";
+    return "";
+  };
+  if (auto e = str("schema"); !e.empty()) return e;
+  if (j.find("schema")->asString() != schemaId()) {
+    return "schema is not " + std::string(schemaId());
+  }
+  if (auto e = str("name"); !e.empty()) return e;
+  if (j.find("name")->asString().empty()) return "name is empty";
+  if (auto e = str("git"); !e.empty()) return e;
+  if (auto e = str("determinism_digest"); !e.empty()) return e;
+  for (const char* key : {"timestamp_unix", "seed"}) {
+    const Json* v = j.find(key);
+    if (!v) return std::string("missing key: ") + key;
+    if (!v->isNumber()) return std::string(key) + " is not a number";
+  }
+  for (const char* key : {"params", "leakage", "metrics"}) {
+    const Json* v = j.find(key);
+    if (!v) return std::string("missing key: ") + key;
+    if (!v->isObject()) return std::string(key) + " is not an object";
+  }
+  for (const char* key : {"counters", "gauges", "histograms"}) {
+    const Json* v = j.find("metrics")->find(key);
+    if (!v) return std::string("missing key: metrics.") + key;
+    if (!v->isObject()) return std::string("metrics.") + key +
+                               " is not an object";
+  }
+  for (const auto& [k, v] : j.find("metrics")->find("counters")->items()) {
+    if (!v.isNumber()) return "metrics.counters." + k + " is not a number";
+  }
+  for (const auto& [k, v] : j.find("leakage")->items()) {
+    if (!v.isNumber()) return "leakage." + k + " is not a number";
+  }
+  const Json* phases = j.find("phases");
+  if (!phases) return "missing key: phases";
+  if (!phases->isArray()) return "phases is not an array";
+  for (std::size_t i = 0; i < phases->size(); ++i) {
+    const Json& p = phases->at(i);
+    if (!p.isObject()) return "phases[" + std::to_string(i) +
+                               "] is not an object";
+    const Json* name = p.find("name");
+    if (!name || !name->isString() || name->asString().empty()) {
+      return "phases[" + std::to_string(i) + "].name missing or empty";
+    }
+    for (const char* key : {"wall_ms", "cpu_ms"}) {
+      const Json* v = p.find(key);
+      if (!v || !v->isNumber() || v->asNumber() < 0.0) {
+        return "phases[" + std::to_string(i) + "]." + key +
+               " missing or negative";
+      }
+    }
+  }
+  return "";
+}
+
+namespace {
+
+double processCpuSeconds() {
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+}  // namespace
+
+PhaseTimer::PhaseTimer(RunReport& report, std::string name)
+    : report_(&report),
+      name_(std::move(name)),
+      wall0_(std::chrono::steady_clock::now()),
+      cpu0_(processCpuSeconds()),
+      span_(name_) {}
+
+PhaseTimer::~PhaseTimer() {
+  const double wallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall0_)
+          .count();
+  const double cpuMs = (processCpuSeconds() - cpu0_) * 1e3;
+  report_->addPhase(name_, wallMs, cpuMs);
+}
+
+}  // namespace lpa::obs

@@ -1,0 +1,95 @@
+#pragma once
+// Machine-readable run reports: every bench and example can emit one JSON
+// document per run (config, seed, git describe, wall/CPU time per phase,
+// metrics snapshot, leakage summary, determinism digest), so campaigns at
+// scale leave auditable artifacts and the perf trajectory (BENCH_*.json)
+// populates from real runs instead of hand-copied numbers.
+//
+// Schema "lpa-run-report/1" (validated by RunReport::validate and the CI
+// smoke job):
+//
+//   {
+//     "schema": "lpa-run-report/1",
+//     "name": "<run name>",                  // required, non-empty
+//     "git": "<git describe at build time>", // required
+//     "timestamp_unix": <seconds>,           // required
+//     "seed": <number>,                      // required (0 if unseeded)
+//     "params": { "<key>": number|string|bool, ... },
+//     "phases": [ {"name": str, "wall_ms": num, "cpu_ms": num}, ... ],
+//     "metrics": { "counters": {...}, "gauges": {...},
+//                  "histograms": {...} },
+//     "leakage": { "<key>": number, ... },
+//     "determinism_digest": "<digest as %.17g string or free-form>"
+//   }
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+
+namespace lpa::obs {
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name);
+
+  void setParam(const std::string& key, Json value);
+  void setParam(const std::string& key, const std::string& value) {
+    setParam(key, Json(value));
+  }
+  void setParam(const std::string& key, double value) {
+    setParam(key, Json(value));
+  }
+  void setSeed(std::uint64_t seed) { seed_ = seed; }
+  void addPhase(const std::string& name, double wallMs, double cpuMs);
+  void setLeakage(const std::string& key, double value);
+  /// Determinism digest (order-sensitive trace/report hash), rendered with
+  /// full double precision so bit-identity across runs is checkable by
+  /// string comparison.
+  void setDigest(double digest);
+  void setDigest(std::string digest) { digest_ = std::move(digest); }
+  void setMetrics(const MetricsSnapshot& snapshot);
+
+  Json toJson() const;
+  /// Writes toJson() to `path`; throws std::runtime_error on IO failure.
+  void writeTo(const std::string& path) const;
+
+  static const char* schemaId() { return "lpa-run-report/1"; }
+  /// "" when `j` conforms to the schema, otherwise the first violation.
+  static std::string validate(const Json& j);
+  /// The git describe string baked in at configure time ("unknown" outside
+  /// a git checkout).
+  static const char* gitDescribe();
+
+ private:
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  Json params_ = Json::object();
+  Json phases_ = Json::array();
+  Json leakage_ = Json::object();
+  Json metrics_ = Json::object();
+  std::string digest_;
+};
+
+/// RAII phase timer: measures wall and process-CPU time of a scope, adds a
+/// phase entry to the report on destruction, and opens a Span of the same
+/// name so phases appear in the Chrome trace too.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunReport& report, std::string name);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RunReport* report_;
+  std::string name_;
+  std::chrono::steady_clock::time_point wall0_;
+  double cpu0_;
+  Span span_;
+};
+
+}  // namespace lpa::obs

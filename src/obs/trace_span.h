@@ -1,0 +1,95 @@
+#pragma once
+// RAII span instrumentation with a Chrome trace-event JSON exporter.
+//
+// Spans record [begin, end) wall-clock intervals onto per-thread tracks and
+// export as the Chrome trace-event format ("X" complete events), loadable
+// in chrome://tracing or https://ui.perfetto.dev. One track per OS thread:
+// worker threads of the sharded pool get their own rows, named via
+// nameThisThreadTrack().
+//
+// Collection is opt-in: the global collector starts disabled, and a Span
+// constructed while it is disabled holds a null collector pointer — its
+// cost is one relaxed atomic load and nothing else. Like the metrics layer
+// (obs/metrics.h), spans are zero-perturbation: they read the clock but
+// never a PRNG, and recording appends under a mutex touched only by the
+// span destructor, never by simulation logic.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace lpa::obs {
+
+class TraceCollector {
+ public:
+  TraceCollector() = default;
+  TraceCollector(const TraceCollector&) = delete;
+  TraceCollector& operator=(const TraceCollector&) = delete;
+
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Microseconds since this collector's construction (steady clock).
+  double nowUs() const;
+
+  /// Stable track id of the calling OS thread (lazily assigned).
+  static std::uint32_t thisThreadTrack();
+
+  /// Names the calling thread's track in the exported trace (emitted as a
+  /// "thread_name" metadata event). Later calls win.
+  void nameThisThreadTrack(const std::string& name);
+
+  /// Appends a complete ("X") event on the calling thread's track.
+  void record(std::string name, double beginUs, double durUs);
+
+  std::size_t eventCount() const;
+  void clear();
+
+  /// {"traceEvents": [...], "displayTimeUnit": "ms"}.
+  Json toJson() const;
+  /// Writes toJson() to `path`; throws std::runtime_error on IO failure.
+  void writeTo(const std::string& path) const;
+
+  static TraceCollector& global();
+
+ private:
+  struct CompleteEvent {
+    std::string name;
+    double tsUs;
+    double durUs;
+    std::uint32_t track;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<CompleteEvent> events_;
+  std::vector<std::pair<std::uint32_t, std::string>> trackNames_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span on the calling thread's track of the global collector (or an
+/// explicit one). If the collector is disabled at construction, the span is
+/// inert — it does not look at the clock again at destruction.
+class Span {
+ public:
+  explicit Span(std::string name,
+                TraceCollector* collector = &TraceCollector::global());
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  TraceCollector* collector_ = nullptr;
+  std::string name_;
+  double beginUs_ = 0.0;
+};
+
+}  // namespace lpa::obs

@@ -61,6 +61,16 @@ void PowerModel::clearAging() {
   std::fill(agingScale_.begin(), agingScale_.end(), 1.0);
 }
 
+void PowerModel::attachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    tracesSampled_ = obs::Counter();
+    pulsesDeposited_ = obs::Counter();
+    return;
+  }
+  tracesSampled_ = registry->counter("power.traces_sampled");
+  pulsesDeposited_ = registry->counter("power.pulses_deposited");
+}
+
 std::vector<double> PowerModel::sample(
     const std::vector<Transition>& transitions,
     std::uint64_t noiseSeed) const {
@@ -74,6 +84,7 @@ std::vector<double> PowerModel::sample(
     return 0.5 + (u <= 0.0 ? u / halfW + q : u / halfW - q);
   };
 
+  std::uint64_t deposited = 0;
   for (const Transition& tr : transitions) {
     const double energy = capFf_[tr.net] * agingScale_[tr.net] * tr.weight;
     // Exact integration of the triangular current pulse over each sample
@@ -85,6 +96,7 @@ std::vector<double> PowerModel::sample(
     int k1 = static_cast<int>(std::floor(t1 / dt));
     k0 = std::max(k0, 0);
     k1 = std::min(k1, static_cast<int>(opts_.numSamples) - 1);
+    if (k0 <= k1) ++deposited;  // pulse overlaps the sampling window
     for (int k = k0; k <= k1; ++k) {
       const double lo = k * dt - tr.timePs;
       const double hi = (k + 1) * dt - tr.timePs;
@@ -98,6 +110,8 @@ std::vector<double> PowerModel::sample(
     std::normal_distribution<double> noise(0.0, opts_.noiseSigma);
     for (double& v : trace) v += noise(rng);
   }
+  tracesSampled_.add(1);
+  pulsesDeposited_.add(deposited);
   return trace;
 }
 

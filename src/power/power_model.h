@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
 #include "sim/waveform.h"
 
 namespace lpa {
@@ -49,10 +50,17 @@ class PowerModel {
   const PowerOptions& options() const { return opts_; }
   double switchedCapFf(NetId gate) const { return capFf_[gate]; }
 
+  /// Routes "power.*" counters (sampled traces, deposited pulses) into
+  /// `registry` (nullptr detaches). Counting is per-call relaxed adds and
+  /// never changes the sampled values (zero-perturbation, obs/metrics.h).
+  void attachMetrics(obs::MetricsRegistry* registry);
+
  private:
   PowerOptions opts_;
   std::vector<double> capFf_;
   std::vector<double> agingScale_;
+  obs::Counter tracesSampled_;
+  obs::Counter pulsesDeposited_;
 };
 
 }  // namespace lpa

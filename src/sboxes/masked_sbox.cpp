@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "netlist/validate.h"
+#include "obs/trace_span.h"
 #include "sboxes/impl_factories.h"
 
 namespace lpa {
@@ -35,6 +36,7 @@ std::string_view sboxStyleName(SboxStyle s) {
 }
 
 std::unique_ptr<MaskedSbox> makeSbox(SboxStyle style) {
+  obs::Span span("netlist.build (" + std::string(sboxStyleName(style)) + ")");
   std::unique_ptr<MaskedSbox> sbox;
   switch (style) {
     case SboxStyle::Lut:

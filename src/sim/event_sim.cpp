@@ -54,7 +54,10 @@ EventSim::EventSim(const Netlist& nl, const DelayModel& delays,
 }
 
 EventSim EventSim::clone() const {
-  EventSim copy = *this;  // shares nl_/delays_, duplicates the fanout map
+  // Shares nl_/delays_ and *the metrics attachment* (same padded registry
+  // cells, so per-worker clones aggregate into the parent's counters), but
+  // starts from fresh dynamic state and zeroed clone-local stats.
+  EventSim copy = *this;
   copy.reset();
   return copy;
 }
@@ -64,6 +67,57 @@ void EventSim::reset() {
   for (Pending& p : pending_) p.active = false;
   std::fill(lastCommitPs_.begin(), lastCommitPs_.end(), -1e30);
   seqCounter_ = 0;
+  stats_ = SimStats{};
+}
+
+void EventSim::attachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.runs = registry->counter("sim.runs");
+  metrics_.events = registry->counter("sim.events_processed");
+  metrics_.committed = registry->counter("sim.transitions_committed");
+  metrics_.cancelled = registry->counter("sim.events_cancelled");
+  metrics_.inertialFiltered =
+      registry->counter("sim.glitches_inertial_filtered");
+  metrics_.peakQueueDepth = registry->gauge("sim.peak_queue_depth");
+  // Watchdog headroom is exported as its complement — the largest event
+  // count any run needed — because a monotone max composes cleanly across
+  // clones from the gauge's zero initial value. Readers recover
+  // min headroom = sim.watchdog_budget - sim.watchdog_max_events_used.
+  metrics_.watchdogMaxEventsUsed =
+      registry->gauge("sim.watchdog_max_events_used");
+  metrics_.watchdogBudget = registry->gauge("sim.watchdog_budget");
+  if (opts_.maxEvents != 0) {
+    metrics_.watchdogBudget.set(static_cast<double>(opts_.maxEvents));
+  }
+}
+
+void EventSim::recordRun(std::uint64_t popped, std::uint64_t committed,
+                         std::uint64_t cancelled, std::uint64_t filtered,
+                         std::uint64_t peakDepth) {
+  stats_.runs += 1;
+  stats_.eventsProcessed += popped;
+  stats_.committedTransitions += committed;
+  stats_.cancelledEvents += cancelled;
+  stats_.inertialFiltered += filtered;
+  if (peakDepth > stats_.peakQueueDepth) stats_.peakQueueDepth = peakDepth;
+  if (opts_.maxEvents != 0 && popped <= opts_.maxEvents) {
+    const std::uint64_t headroom = opts_.maxEvents - popped;
+    if (headroom < stats_.watchdogMinHeadroom) {
+      stats_.watchdogMinHeadroom = headroom;
+    }
+  }
+  metrics_.runs.add(1);
+  metrics_.events.add(popped);
+  metrics_.committed.add(committed);
+  metrics_.cancelled.add(cancelled);
+  metrics_.inertialFiltered.add(filtered);
+  metrics_.peakQueueDepth.recordMax(static_cast<double>(peakDepth));
+  if (opts_.maxEvents != 0) {
+    metrics_.watchdogMaxEventsUsed.recordMax(static_cast<double>(popped));
+  }
 }
 
 void EventSim::settle(const std::vector<std::uint8_t>& inputValues) {
@@ -87,6 +141,13 @@ std::vector<Transition> EventSim::run(
   }
 
   EventQueue queue;
+
+  // Per-run instrumentation tallies (plain locals: free to update, folded
+  // into stats_/the registry once per run by recordRun).
+  std::uint64_t committed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t inertialFiltered = 0;
+  std::uint64_t peakDepth = 0;
 
   // Evaluates `gateId` against committed fanin values and, depending on the
   // delay model, schedules/updates/cancels its output event.
@@ -115,6 +176,7 @@ std::vector<Transition> EventSim::run(
       if (nv == state_[gateId]) {
         // Input pulse shorter than the gate delay: swallow the glitch.
         p.active = false;
+        ++inertialFiltered;
         return;
       }
       p.time = eta;
@@ -146,6 +208,7 @@ std::vector<Transition> EventSim::run(
       state_[ins[i]] = nv;
       lastCommitPs_[ins[i]] = 0.0;
       log.push_back(Transition{0.0, ins[i], nv, 1.0});
+      ++committed;
       changedInputs.push_back(ins[i]);
     }
   }
@@ -155,23 +218,32 @@ std::vector<Transition> EventSim::run(
 
   std::uint64_t popped = 0;
   while (!queue.empty()) {
+    if (queue.size() > peakDepth) peakDepth = queue.size();
     const Event e = queue.top();
     queue.pop();
     // Watchdog: amortized against the pop. One increment + predictable
     // branch per event; a quiescing run under budget behaves identically.
     ++popped;
     if (opts_.maxEvents != 0 && popped > opts_.maxEvents) {
+      recordRun(popped, committed, cancelled, inertialFiltered, peakDepth);
       throw SimDiverged(popped, e.time);
     }
     if (opts_.maxTimePs > 0.0 && e.time > opts_.maxTimePs) {
+      recordRun(popped, committed, cancelled, inertialFiltered, peakDepth);
       throw SimDiverged(popped, e.time);
     }
     if (opts_.kind == DelayKind::Inertial) {
       Pending& p = pending_[e.net];
-      if (!p.active || p.seq != e.seq) continue;  // cancelled or superseded
+      if (!p.active || p.seq != e.seq) {
+        ++cancelled;  // cancelled or superseded
+        continue;
+      }
       p.active = false;
     }
-    if (state_[e.net] == e.value) continue;  // no-op
+    if (state_[e.net] == e.value) {
+      ++cancelled;  // no-op wavefront (transport mode)
+      continue;
+    }
     state_[e.net] = e.value;
     // Partial-swing weighting: an edge following the previous edge of the
     // same net within the full-swing window carries proportionally less
@@ -184,8 +256,10 @@ std::vector<Transition> EventSim::run(
     }
     lastCommitPs_[e.net] = e.time;
     log.push_back(Transition{e.time, e.net, e.value, weight});
+    ++committed;
     for (NetId g : fanout_[e.net]) scheduleGate(g, e.time);
   }
+  recordRun(popped, committed, cancelled, inertialFiltered, peakDepth);
   return log;
 }
 

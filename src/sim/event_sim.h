@@ -15,10 +15,31 @@
 #include <vector>
 
 #include "netlist/netlist.h"
+#include "obs/metrics.h"
 #include "sim/delay_model.h"
 #include "sim/waveform.h"
 
 namespace lpa {
+
+/// Cumulative instrumentation of one EventSim instance. Plain (non-atomic)
+/// fields — only the owning thread writes them — padded to a cache line so
+/// per-worker clones living side by side in a pool's vector never
+/// false-share. Flushed to the attached MetricsRegistry in a handful of
+/// relaxed adds per run() (never per event), which keeps the hot loop
+/// overhead at a few local integer increments. Zero-perturbation: counting
+/// reuses branches the simulator takes anyway and feeds nothing back.
+struct alignas(64) SimStats {
+  std::uint64_t runs = 0;                 ///< run() calls completed or thrown
+  std::uint64_t eventsProcessed = 0;      ///< events popped from the queue
+  std::uint64_t committedTransitions = 0; ///< value changes entering the log
+  std::uint64_t cancelledEvents = 0;      ///< superseded/cancelled/no-op pops
+  std::uint64_t inertialFiltered = 0;     ///< glitches swallowed at schedule
+  std::uint64_t peakQueueDepth = 0;       ///< max in-flight events, any run
+  /// Smallest remaining event budget (maxEvents - popped) observed at the
+  /// end of a converging run; ~0ULL until a budgeted run completes. The
+  /// fault campaign reads this as "how close to divergence did we get".
+  std::uint64_t watchdogMinHeadroom = ~0ULL;
+};
 
 /// Structured divergence outcome of EventSim::run: the watchdog budget
 /// (SimOptions::maxEvents / maxTimePs) was exhausted before quiescence.
@@ -97,7 +118,22 @@ class EventSim {
   /// Values of the primary outputs in outputs() order.
   std::vector<std::uint8_t> outputValues() const;
 
+  /// Attaches this sim (and every future clone of it) to a metrics
+  /// registry: per-run deltas of stats() flow into the "sim.*" counters and
+  /// gauges. nullptr detaches. Clones inherit the attachment and aggregate
+  /// into the *same* registry cells — safe because the cells are relaxed
+  /// atomics padded to cache lines (obs/metrics.h), so parallel workers
+  /// neither race nor false-share.
+  void attachMetrics(obs::MetricsRegistry* registry);
+
+  /// This instance's cumulative instrumentation (clone-local; a clone
+  /// starts from zero).
+  const SimStats& stats() const { return stats_; }
+
  private:
+  void recordRun(std::uint64_t popped, std::uint64_t committed,
+                 std::uint64_t cancelled, std::uint64_t filtered,
+                 std::uint64_t peakDepth);
   struct Pending {
     double time = 0.0;
     std::uint64_t seq = 0;
@@ -113,6 +149,12 @@ class EventSim {
   std::vector<Pending> pending_;
   std::vector<double> lastCommitPs_;
   std::uint64_t seqCounter_ = 0;
+
+  SimStats stats_;
+  struct MetricHandles {
+    obs::Counter runs, events, committed, cancelled, inertialFiltered;
+    obs::Gauge peakQueueDepth, watchdogMaxEventsUsed, watchdogBudget;
+  } metrics_;
 };
 
 }  // namespace lpa

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "crypto/present.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "trace/sharded_pool.h"
 
 namespace lpa {
@@ -23,13 +25,21 @@ constexpr std::uint64_t kScheduleStream = ~0ULL;
 template <typename TraceBody, typename Describe>
 TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
                         std::size_t n, std::uint32_t threads,
-                        const TraceBody& body, const Describe& describe) {
+                        const TraceBody& body, const Describe& describe,
+                        const obs::ProgressFn& progress,
+                        const char* spanLabel) {
+  obs::Span span(std::string(spanLabel) + " (" + std::to_string(n) +
+                 " traces, " + std::to_string(threads) + " threads)");
+  obs::ProgressMeter meter(spanLabel, n, progress);
+  obs::MetricsRegistry::global().counter("acquire.traces_total").add(n);
+
   TraceSet traces(numSamples);
   traces.reserve(n);
   if (threads <= 1) {
     detail::shardedFor(
         n, 1, [&](std::uint32_t, std::size_t i) { body(sim, i, traces); },
-        describe);
+        describe, &meter, spanLabel);
+    meter.finish();
     return traces;
   }
 
@@ -43,8 +53,12 @@ TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
   detail::shardedFor(
       n, threads,
       [&](std::uint32_t w, std::size_t i) { body(sims[w], i, shards[w]); },
-      describe);
-  for (const TraceSet& shard : shards) traces.append(shard);
+      describe, &meter, spanLabel);
+  meter.finish();
+  {
+    obs::Span mergeSpan(std::string(spanLabel) + " merge shards");
+    for (const TraceSet& shard : shards) traces.append(shard);
+  }
   return traces;
 }
 
@@ -96,7 +110,7 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
 
   return shardedAcquire(sim, power.options().numSamples, schedule.size(),
                         resolveWorkerThreads(cfg.numThreads, schedule.size()),
-                        body, describe);
+                        body, describe, cfg.progress, "acquire");
 }
 
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
@@ -124,7 +138,7 @@ TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
 
   return shardedAcquire(sim, power.options().numSamples, numTraces,
                         resolveWorkerThreads(numThreads, numTraces), body,
-                        describe);
+                        describe, obs::ProgressFn(), "acquire-keyed");
 }
 
 }  // namespace lpa

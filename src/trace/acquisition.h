@@ -45,6 +45,7 @@
 
 #include <cstdint>
 
+#include "obs/progress.h"
 #include "power/power_model.h"
 #include "sboxes/masked_sbox.h"
 #include "sim/event_sim.h"
@@ -63,6 +64,11 @@ struct AcquisitionConfig {
   /// Worker threads for acquisition. 0 = std::thread::hardware_concurrency.
   /// Any value yields bit-identical results (see determinism contract).
   std::uint32_t numThreads = 0;
+  /// Optional progress sink (obs/progress.h): called rate-limited with
+  /// (done, total, ETA) as traces finish; returning false aborts the
+  /// acquisition cooperatively (throws obs::ProgressAborted). Reporting is
+  /// a pure sink — with or without a sink the TraceSet is bit-identical.
+  obs::ProgressFn progress;
 };
 
 /// The Fig. 5 protocol's balanced, shuffled 16-class schedule: 16 *

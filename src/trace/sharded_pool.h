@@ -17,6 +17,15 @@
 //     index and a caller-supplied description of the item's identity, with
 //     the original exception nested (std::throw_with_nested) for callers
 //     that need the root cause.
+//
+// Observability (obs/): an optional ProgressMeter is stepped once per
+// finished item (relaxed atomic; the render callback is rate-limited inside
+// the meter) and doubles as a cooperative abort channel — a sink returning
+// false makes every worker stop before its next item and the pool throw
+// ProgressAborted. An optional span label wraps each worker's shard in a
+// Chrome-trace span on that worker's own track, so chrome://tracing shows
+// one row per worker with its shard extent. Both hooks are pure sinks: the
+// work a finished item computed is never altered (zero-perturbation).
 
 #include <algorithm>
 #include <atomic>
@@ -27,6 +36,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/progress.h"
+#include "obs/trace_span.h"
 
 namespace lpa {
 
@@ -61,20 +73,36 @@ namespace detail {
 /// Runs body(w, i) for every i in [0, n), sharded over `threads` workers in
 /// contiguous blocks (worker w covers [n*w/threads, n*(w+1)/threads)).
 /// `describe(i)` renders the item's identity for error reporting and is
-/// only called on failure. See the header comment for failure semantics.
+/// only called on failure. `progress`, if given, is stepped per finished
+/// item and consulted for cooperative abort (throws obs::ProgressAborted);
+/// `spanLabel`, if given, wraps each worker's shard in a Chrome-trace span.
+/// See the header comment for failure semantics.
 template <typename Body, typename Describe>
 void shardedFor(std::size_t n, std::uint32_t threads, const Body& body,
-                const Describe& describe) {
+                const Describe& describe,
+                obs::ProgressMeter* progress = nullptr,
+                const char* spanLabel = nullptr) {
   if (n == 0) return;
 
   std::exception_ptr failError;
   std::size_t failIndex = 0;
   bool failed = false;
+  const auto aborted = [&] {
+    return progress != nullptr && progress->abortRequested();
+  };
+  const auto shardSpanName = [&](std::uint32_t w, std::size_t begin,
+                                 std::size_t end) {
+    return std::string(spanLabel) + " shard w" + std::to_string(w) + " [" +
+           std::to_string(begin) + ", " + std::to_string(end) + ")";
+  };
 
   if (threads <= 1) {
-    for (std::size_t i = 0; i < n && !failed; ++i) {
+    obs::Span span(spanLabel ? shardSpanName(0, 0, n) : std::string(),
+                   spanLabel ? &obs::TraceCollector::global() : nullptr);
+    for (std::size_t i = 0; i < n && !failed && !aborted(); ++i) {
       try {
         body(0u, i);
+        if (progress) progress->step();
       } catch (...) {
         failError = std::current_exception();
         failIndex = i;
@@ -90,10 +118,18 @@ void shardedFor(std::size_t n, std::uint32_t threads, const Body& body,
       pool.emplace_back([&, w] {
         const std::size_t begin = n * w / threads;
         const std::size_t end = n * (w + 1) / threads;
+        if (spanLabel) {
+          obs::TraceCollector::global().nameThisThreadTrack(
+              "worker-" + std::to_string(w));
+        }
+        obs::Span span(spanLabel ? shardSpanName(w, begin, end)
+                                 : std::string(),
+                       spanLabel ? &obs::TraceCollector::global() : nullptr);
         for (std::size_t i = begin; i < end; ++i) {
-          if (abort.load(std::memory_order_relaxed)) return;
+          if (abort.load(std::memory_order_relaxed) || aborted()) return;
           try {
             body(w, i);
+            if (progress) progress->step();
           } catch (...) {
             std::lock_guard<std::mutex> lk(mu);
             if (!failed || i < failIndex) {
@@ -119,6 +155,11 @@ void shardedFor(std::size_t n, std::uint32_t threads, const Body& body,
     } catch (...) {
       std::throw_with_nested(WorkerError(failIndex, describe(failIndex)));
     }
+  }
+  if (aborted()) {
+    throw obs::ProgressAborted(
+        spanLabel ? spanLabel : "sharded work", progress->done(),
+        static_cast<std::uint64_t>(n));
   }
 }
 

@@ -1,0 +1,187 @@
+// Tests for the JSON document model (src/obs/json.h) and the run-report
+// schema (src/obs/run_report.h): parser unit coverage and the full
+// emit -> parse -> validate -> re-emit round trip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace lpa {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(obs::Json::parse("null").isNull());
+  EXPECT_EQ(obs::Json::parse("true").asBool(), true);
+  EXPECT_EQ(obs::Json::parse("false").asBool(), false);
+  EXPECT_EQ(obs::Json::parse("42").asNumber(), 42.0);
+  EXPECT_EQ(obs::Json::parse("-2.5e2").asNumber(), -250.0);
+  EXPECT_EQ(obs::Json::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+  const obs::Json j =
+      obs::Json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {}})");
+  ASSERT_TRUE(j.isObject());
+  const obs::Json* a = j.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->isArray());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).asNumber(), 1.0);
+  EXPECT_EQ(a->at(2).find("b")->asString(), "c");
+  EXPECT_TRUE(j.find("d")->isObject());
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ParsesStringEscapes) {
+  EXPECT_EQ(obs::Json::parse(R"("a\"b\\c\n\t")").asString(), "a\"b\\c\n\t");
+  // A = 'A'; é = é (two UTF-8 bytes).
+  EXPECT_EQ(obs::Json::parse(R"("A")").asString(), "A");
+  EXPECT_EQ(obs::Json::parse(R"("é")").asString(), "\xC3\xA9");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse(""), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("1 2"), std::runtime_error);
+}
+
+TEST(Json, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(obs::Json(std::uint64_t{1234567890123}).dump(), "1234567890123");
+  EXPECT_EQ(obs::Json(0).dump(), "0");
+  EXPECT_EQ(obs::Json(-7).dump(), "-7");
+}
+
+TEST(Json, DumpParseRoundTripIsExact) {
+  obs::Json j = obs::Json::object();
+  j["pi"] = obs::Json(3.141592653589793);
+  j["tiny"] = obs::Json(1e-300);
+  j["n"] = obs::Json(std::uint64_t{1} << 52);
+  j["s"] = obs::Json("line\nbreak \"quoted\"");
+  j["flag"] = obs::Json(true);
+  obs::Json arr = obs::Json::array();
+  arr.push_back(obs::Json(1.5));
+  arr.push_back(obs::Json());
+  j["arr"] = arr;
+  const obs::Json back = obs::Json::parse(j.dump());
+  EXPECT_EQ(back, j);
+  EXPECT_EQ(back.find("pi")->asNumber(), 3.141592653589793);
+  // Pretty-printed output parses to the same document.
+  EXPECT_EQ(obs::Json::parse(j.dump(2)), j);
+}
+
+TEST(Json, ObjectEqualityIsOrderInsensitive) {
+  const obs::Json a = obs::Json::parse(R"({"x": 1, "y": 2})");
+  const obs::Json b = obs::Json::parse(R"({"y": 2, "x": 1})");
+  EXPECT_EQ(a, b);
+  const obs::Json c = obs::Json::parse(R"({"x": 1, "y": 3})");
+  EXPECT_NE(a, c);
+}
+
+obs::RunReport makeReport() {
+  obs::RunReport report("unit-test-run");
+  report.setSeed(0xCAFE0003ULL);
+  report.setParam("style", std::string("GLUT"));
+  report.setParam("traces_per_class", 64.0);
+  report.addPhase("acquire", 123.5, 456.25);
+  report.addPhase("analyze", 2.0, 1.5);
+  report.setLeakage("total", 1234.5);
+  report.setLeakage("single_bit", 1.25);
+  report.setDigest(3.141592653589793);
+  obs::MetricsRegistry reg;
+  reg.counter("sim.runs").add(1024);
+  reg.gauge("sim.peak_queue_depth").set(37.0);
+  reg.histogram("lat").record(2.0);
+  report.setMetrics(reg.snapshot());
+  return report;
+}
+
+TEST(RunReport, SchemaRoundTripsAndValidates) {
+  const obs::RunReport report = makeReport();
+  const obs::Json j = report.toJson();
+  EXPECT_EQ(obs::RunReport::validate(j), "");
+
+  EXPECT_EQ(j.find("schema")->asString(), obs::RunReport::schemaId());
+  EXPECT_EQ(j.find("name")->asString(), "unit-test-run");
+  EXPECT_EQ(j.find("seed")->asNumber(),
+            static_cast<double>(0xCAFE0003ULL));
+  EXPECT_EQ(j.find("git")->asString(), obs::RunReport::gitDescribe());
+  ASSERT_EQ(j.find("phases")->size(), 2u);
+  EXPECT_EQ(j.find("phases")->at(0).find("name")->asString(), "acquire");
+  EXPECT_EQ(j.find("phases")->at(0).find("wall_ms")->asNumber(), 123.5);
+  EXPECT_EQ(j.find("leakage")->find("total")->asNumber(), 1234.5);
+  EXPECT_EQ(
+      j.find("metrics")->find("counters")->find("sim.runs")->asNumber(),
+      1024.0);
+  // %.17g digest string survives the round trip bit-exactly.
+  EXPECT_EQ(std::stod(j.find("determinism_digest")->asString()),
+            3.141592653589793);
+
+  // parse(dump()) is semantically the original document.
+  const obs::Json back = obs::Json::parse(j.dump(2));
+  EXPECT_EQ(obs::RunReport::validate(back), "");
+  EXPECT_EQ(back, j);
+}
+
+TEST(RunReport, ValidateRejectsNonConformingDocuments) {
+  EXPECT_NE(obs::RunReport::validate(obs::Json::parse("[]")), "");
+  EXPECT_NE(obs::RunReport::validate(obs::Json::parse("{}")), "");
+
+  obs::Json j = makeReport().toJson();
+  obs::Json noSchema = j;
+  noSchema["schema"] = obs::Json("other/2");
+  EXPECT_NE(obs::RunReport::validate(noSchema), "");
+
+  obs::Json badName = j;
+  badName["name"] = obs::Json("");
+  EXPECT_NE(obs::RunReport::validate(badName), "");
+
+  obs::Json badPhase = j;
+  obs::Json phases = obs::Json::array();
+  obs::Json p = obs::Json::object();
+  p["name"] = obs::Json("x");
+  p["wall_ms"] = obs::Json(-1.0);  // negative wall time
+  p["cpu_ms"] = obs::Json(0.0);
+  phases.push_back(p);
+  badPhase["phases"] = phases;
+  EXPECT_NE(obs::RunReport::validate(badPhase), "");
+
+  obs::Json badLeak = j;
+  badLeak["leakage"]["total"] = obs::Json("not a number");
+  EXPECT_NE(obs::RunReport::validate(badLeak), "");
+}
+
+TEST(RunReport, WritesFileThatParsesBack) {
+  const std::string path = ::testing::TempDir() + "lpa_run_report_test.json";
+  makeReport().writeTo(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  obs::Json j = obs::Json::parse(ss.str());
+  EXPECT_EQ(obs::RunReport::validate(j), "");
+  // timestamp_unix is stamped at emission, so normalize it before the
+  // semantic comparison against a fresh emission.
+  obs::Json expect = makeReport().toJson();
+  j["timestamp_unix"] = obs::Json(0.0);
+  expect["timestamp_unix"] = obs::Json(0.0);
+  EXPECT_EQ(j, expect);
+  std::remove(path.c_str());
+}
+
+TEST(RunReport, WriteToUnwritablePathThrows) {
+  EXPECT_THROW(makeReport().writeTo("/nonexistent-dir/x/y/report.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace lpa
