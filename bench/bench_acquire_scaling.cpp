@@ -39,9 +39,7 @@ int main(int argc, char** argv) {
   using namespace lpa;
   const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   const std::uint32_t tracesPerClass =
-      !args.positional.empty()
-          ? static_cast<std::uint32_t>(std::atoi(args.positional[0].c_str()))
-          : 64;
+      bench::positionalCount(args, 0, 64, "tracesPerClass");
 
   bench::RunScope scope("bench_acquire_scaling", args);
   obs::RunReport& report = scope.report();
@@ -127,6 +125,49 @@ int main(int argc, char** argv) {
               secsOn, secsOff, overheadPct, abIdentical ? "yes" : "NO");
   report.setParam("obs_overhead_pct", overheadPct);
   report.setParam("obs_bit_identical", obs::Json(abIdentical));
+
+  // Engine A/B: reference EventSim vs the compiled fast path (single
+  // thread, so the ratio is pure per-trace engine cost). Repetitions are
+  // interleaved against frequency drift; the digests must match
+  // bit-for-bit (the compiled-engine identity contract,
+  // sim/compiled_sim.h). compiled_speedup is machine-independent and is
+  // what the CI perf gate pins (tools/bench_compare.py).
+  std::printf("\nengine A/B (reference vs compiled, 1 thread):\n");
+  auto makeEngine = [&](SimEngine engine) {
+    ExperimentConfig ecfg;
+    ecfg.acquisition.tracesPerClass = tracesPerClass;
+    ecfg.acquisition.numThreads = 1;
+    ecfg.acquisition.engine = engine;
+    return SboxExperiment(SboxStyle::Glut, ecfg);
+  };
+  SboxExperiment engRef = makeEngine(SimEngine::Reference);
+  SboxExperiment engCmp = makeEngine(SimEngine::Compiled);
+  double secsRef = 1e300, secsCmp = 1e300;
+  double digRef = 0.0, digCmp = 0.0;
+  {
+    obs::PhaseTimer phase(report, "ab.engine");
+    for (int rep = 0; rep < 5; ++rep) {
+      TraceSet ts(1);
+      secsRef = std::min(secsRef,
+                         bench::bestOf(1, [&] { ts = engRef.acquireAt(0.0); }));
+      digRef = digest(ts);
+      secsCmp = std::min(secsCmp,
+                         bench::bestOf(1, [&] { ts = engCmp.acquireAt(0.0); }));
+      digCmp = digest(ts);
+    }
+  }
+  const double engineSpeedup = secsRef / secsCmp;
+  const bool engIdentical = digRef == digCmp;
+  allIdentical = allIdentical && engIdentical;
+  std::printf(
+      "  reference %.4fs (%.0f traces/sec), compiled %.4fs (%.0f "
+      "traces/sec), speedup %.2fx, bit-ident %s\n",
+      secsRef, n / secsRef, secsCmp, n / secsCmp, engineSpeedup,
+      engIdentical ? "yes" : "NO");
+  report.setParam("traces_per_sec_reference", n / secsRef);
+  report.setParam("traces_per_sec_compiled", n / secsCmp);
+  report.setParam("compiled_speedup", engineSpeedup);
+  report.setParam("engine_bit_identical", obs::Json(engIdentical));
   report.setLeakage("glut_fresh_total",
                     SpectralAnalysis(exp.acquireAt(0.0), 0,
                                      EstimatorMode::Debiased)

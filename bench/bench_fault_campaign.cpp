@@ -45,9 +45,7 @@ int main(int argc, char** argv) {
   using namespace lpa;
   const bench::BenchArgs args = bench::parseBenchArgs(argc, argv);
   const std::uint32_t tracesPerClass =
-      !args.positional.empty()
-          ? static_cast<std::uint32_t>(std::atoi(args.positional[0].c_str()))
-          : 8;
+      bench::positionalCount(args, 0, 8, "tracesPerClass");
 
   bench::RunScope scope("bench_fault_campaign", args);
   obs::RunReport& report = scope.report();

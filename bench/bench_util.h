@@ -80,8 +80,11 @@ struct BenchArgs {
 };
 
 /// Extracts the shared observability flags; unknown flags and positionals
-/// pass through in `positional`. Exits with a usage message on a flag that
-/// is missing its value.
+/// pass through in `positional`. Both `--flag value` and `--flag=value`
+/// spellings are accepted in any position relative to positionals — an
+/// `=`-form flag used to fall through into `positional`, where a bench's
+/// count argument would then silently std::atoi it to 0. Exits with a
+/// usage message on a flag that is missing its value.
 inline BenchArgs parseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
@@ -96,8 +99,12 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
     };
     if (a == "--json") {
       args.jsonPath = value("--json");
+    } else if (a.rfind("--json=", 0) == 0) {
+      args.jsonPath = a.substr(7);
     } else if (a == "--trace") {
       args.tracePath = value("--trace");
+    } else if (a.rfind("--trace=", 0) == 0) {
+      args.tracePath = a.substr(8);
     } else if (a == "--progress") {
       args.progress = true;
     } else {
@@ -105,6 +112,25 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Strictly parses positional `idx` as a decimal count, or returns
+/// `fallback` when absent. A malformed value (stray flag, typo, trailing
+/// garbage) is a loud usage error — never a silent zero the way
+/// std::atoi-based parsing misread it.
+inline std::uint32_t positionalCount(const BenchArgs& args, std::size_t idx,
+                                     std::uint32_t fallback,
+                                     const char* what) {
+  if (idx >= args.positional.size()) return fallback;
+  const std::string& s = args.positional[idx];
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || v > 0xFFFFFFFFul) {
+    std::fprintf(stderr, "bad %s argument: \"%s\" (expected a count)\n", what,
+                 s.c_str());
+    std::exit(2);
+  }
+  return static_cast<std::uint32_t>(v);
 }
 
 /// One bench run's observability scope: owns the RunReport, enables the

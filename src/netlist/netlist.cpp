@@ -52,6 +52,7 @@ void Netlist::replaceGate(NetId id, GateType type,
   }
   gates_[id] = g;
   fanoutCache_.clear();
+  overlaid_ = true;
 }
 
 NetId Netlist::addInput(std::string name) {

@@ -38,6 +38,13 @@ class Netlist {
   /// it); `type` must not be GateType::Input.
   void replaceGate(NetId id, GateType type, const std::vector<NetId>& fanins);
 
+  /// True once any gate has been rewritten via replaceGate. A conservative
+  /// marker: an overlaid netlist may violate the topological invariant and
+  /// must be simulated by the reference EventSim engine; the compiled fast
+  /// path (sim/compiled_sim.h) refuses it and acquire() falls back
+  /// automatically.
+  bool hasFaultOverlay() const { return overlaid_; }
+
   std::size_t numGates() const { return gates_.size(); }
   const Gate& gate(NetId id) const { return gates_[id]; }
   const std::vector<Gate>& gates() const { return gates_; }
@@ -84,6 +91,7 @@ class Netlist {
   std::unordered_map<std::string, NetId> inputIndex_;
   std::unordered_map<std::string, NetId> outputIndex_;
   mutable std::vector<std::uint32_t> fanoutCache_;
+  bool overlaid_ = false;
 };
 
 }  // namespace lpa

@@ -77,39 +77,18 @@ std::vector<double> PowerModel::sample(
   std::vector<double> trace(opts_.numSamples, 0.0);
   const double dt = opts_.samplePeriodPs;
   const double halfW = opts_.pulseWidthPs * 0.5;
-  // Antiderivative of the unit-area triangle 1/h * (1 - |u|/h), u = t - c.
-  const auto kernelCdf = [halfW](double u) {
-    u = std::clamp(u, -halfW, halfW);
-    const double q = u * u / (2.0 * halfW * halfW);
-    return 0.5 + (u <= 0.0 ? u / halfW + q : u / halfW - q);
-  };
 
   std::uint64_t deposited = 0;
   for (const Transition& tr : transitions) {
     const double energy = capFf_[tr.net] * agingScale_[tr.net] * tr.weight;
-    // Exact integration of the triangular current pulse over each sample
-    // bin (bin k covers [k*dt, (k+1)*dt)): energy is conserved regardless
-    // of how the pulse straddles bin boundaries.
-    const double t0 = tr.timePs - halfW;
-    const double t1 = tr.timePs + halfW;
-    int k0 = static_cast<int>(std::floor(t0 / dt));
-    int k1 = static_cast<int>(std::floor(t1 / dt));
-    k0 = std::max(k0, 0);
-    k1 = std::min(k1, static_cast<int>(opts_.numSamples) - 1);
-    if (k0 <= k1) ++deposited;  // pulse overlaps the sampling window
-    for (int k = k0; k <= k1; ++k) {
-      const double lo = k * dt - tr.timePs;
-      const double hi = (k + 1) * dt - tr.timePs;
-      const double frac = kernelCdf(hi) - kernelCdf(lo);
-      if (frac > 0.0) trace[static_cast<std::size_t>(k)] += energy * frac;
+    if (power_detail::depositPulse(trace.data(), opts_.numSamples, dt, halfW,
+                                   tr.timePs, energy)) {
+      ++deposited;  // pulse overlaps the sampling window
     }
   }
 
-  if (opts_.noiseSigma > 0.0 && noiseSeed != 0) {
-    std::mt19937_64 rng(noiseSeed);
-    std::normal_distribution<double> noise(0.0, opts_.noiseSigma);
-    for (double& v : trace) v += noise(rng);
-  }
+  power_detail::addGaussianNoise(trace.data(), opts_.numSamples,
+                                 opts_.noiseSigma, noiseSeed);
   tracesSampled_.add(1);
   pulsesDeposited_.add(deposited);
   return trace;

@@ -10,7 +10,10 @@
 // Device aging scales each gate's pulse amplitude by its drive-current
 // degradation factor (alpha-power law on the aged threshold voltage).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <random>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -18,6 +21,57 @@
 #include "sim/waveform.h"
 
 namespace lpa {
+
+namespace power_detail {
+
+// The deposition arithmetic is factored into these inline helpers so the
+// reference path (PowerModel::sample over a Transition list) and the
+// compiled fast path (CompiledSim fusing deposition into the event-commit
+// step) execute the *same* floating-point expressions in the same order —
+// the foundation of the engines' bit-identity contract. Any change here
+// changes every determinism digest in the repo.
+
+/// Antiderivative of the unit-area triangle 1/h * (1 - |u|/h), u = t - c.
+inline double triangleKernelCdf(double u, double halfW) {
+  u = std::clamp(u, -halfW, halfW);
+  const double q = u * u / (2.0 * halfW * halfW);
+  return 0.5 + (u <= 0.0 ? u / halfW + q : u / halfW - q);
+}
+
+/// Exact integration of one triangular current pulse (centre `timePs`,
+/// half-width `halfW`, area `energy`) over each overlapped sample bin (bin
+/// k covers [k*dt, (k+1)*dt)): energy is conserved regardless of how the
+/// pulse straddles bin boundaries. Returns true when the pulse overlaps
+/// the sampling window (the power.pulses_deposited counting condition).
+inline bool depositPulse(double* trace, std::uint32_t numSamples, double dt,
+                         double halfW, double timePs, double energy) {
+  const double t0 = timePs - halfW;
+  const double t1 = timePs + halfW;
+  int k0 = static_cast<int>(std::floor(t0 / dt));
+  int k1 = static_cast<int>(std::floor(t1 / dt));
+  k0 = std::max(k0, 0);
+  k1 = std::min(k1, static_cast<int>(numSamples) - 1);
+  for (int k = k0; k <= k1; ++k) {
+    const double lo = k * dt - timePs;
+    const double hi = (k + 1) * dt - timePs;
+    const double frac =
+        triangleKernelCdf(hi, halfW) - triangleKernelCdf(lo, halfW);
+    if (frac > 0.0) trace[static_cast<std::size_t>(k)] += energy * frac;
+  }
+  return k0 <= k1;
+}
+
+/// Additive Gaussian measurement noise, deterministic per seed; a zero
+/// sigma or zero seed is a no-op (the acquisition convention).
+inline void addGaussianNoise(double* trace, std::uint32_t numSamples,
+                             double sigma, std::uint64_t seed) {
+  if (sigma <= 0.0 || seed == 0) return;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, sigma);
+  for (std::uint32_t i = 0; i < numSamples; ++i) trace[i] += noise(rng);
+}
+
+}  // namespace power_detail
 
 struct PowerOptions {
   double samplePeriodPs = 20.0;   ///< 50 GS/s
@@ -49,6 +103,14 @@ class PowerModel {
 
   const PowerOptions& options() const { return opts_; }
   double switchedCapFf(NetId gate) const { return capFf_[gate]; }
+  /// Aged pulse energy of a gate: switched cap x aging amplitude factor.
+  /// This is the per-gate scalar the compiled fast path snapshots
+  /// (sim/compiled_design.h).
+  double effectiveCapFf(NetId gate) const {
+    return capFf_[gate] * agingScale_[gate];
+  }
+  /// Number of gates the model was built for (netlist-match checks).
+  std::size_t numGates() const { return capFf_.size(); }
 
   /// Routes "power.*" counters (sampled traces, deposited pulses) into
   /// `registry` (nullptr detaches). Counting is per-call relaxed adds and

@@ -71,6 +71,7 @@ void EventSim::reset() {
 }
 
 void EventSim::attachMetrics(obs::MetricsRegistry* registry) {
+  registry_ = registry;
   if (!registry) {
     metrics_ = MetricHandles{};
     return;

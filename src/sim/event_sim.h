@@ -115,6 +115,15 @@ class EventSim {
   /// Current committed value of a net.
   std::uint8_t value(NetId net) const { return state_[net]; }
 
+  /// The design this simulator runs (exposed so acquire() can compile the
+  /// fast-path tables for the same netlist/models, sim/compiled_design.h).
+  const Netlist& netlist() const { return *nl_; }
+  const DelayModel& delayModel() const { return *delays_; }
+  const SimOptions& options() const { return opts_; }
+  /// Registry attached via attachMetrics (nullptr when detached); the
+  /// compiled engine selected by acquire() inherits this attachment.
+  obs::MetricsRegistry* metricsRegistry() const { return registry_; }
+
   /// Values of the primary outputs in outputs() order.
   std::vector<std::uint8_t> outputValues() const;
 
@@ -151,6 +160,7 @@ class EventSim {
   std::uint64_t seqCounter_ = 0;
 
   SimStats stats_;
+  obs::MetricsRegistry* registry_ = nullptr;
   struct MetricHandles {
     obs::Counter runs, events, committed, cancelled, inertialFiltered;
     obs::Gauge peakQueueDepth, watchdogMaxEventsUsed, watchdogBudget;

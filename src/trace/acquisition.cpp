@@ -7,6 +7,7 @@
 #include "crypto/present.h"
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
+#include "sim/compiled_sim.h"
 #include "trace/sharded_pool.h"
 
 namespace lpa {
@@ -16,14 +17,41 @@ namespace {
 /// Stream index of the schedule shuffle; far outside any trace index.
 constexpr std::uint64_t kScheduleStream = ~0ULL;
 
+/// Resolves the requested engine against the design's eligibility for the
+/// compiled fast path. Auto silently falls back to the reference engine;
+/// forcing Compiled on an ineligible design throws.
+SimEngine resolveEngine(SimEngine requested, const EventSim& sim,
+                        const PowerModel& power) {
+  const bool eligible = !sim.netlist().hasFaultOverlay() &&
+                        power.numGates() == sim.netlist().numGates() &&
+                        sim.netlist().numGates() < (std::size_t(1) << 24);
+  switch (requested) {
+    case SimEngine::Reference:
+      return SimEngine::Reference;
+    case SimEngine::Compiled:
+      if (!eligible) {
+        throw std::invalid_argument(
+            "acquisition: compiled engine requested but the design is "
+            "ineligible (fault overlay present or power model size "
+            "mismatch)");
+      }
+      return SimEngine::Compiled;
+    case SimEngine::Auto:
+      break;
+  }
+  return eligible ? SimEngine::Compiled : SimEngine::Reference;
+}
+
 /// Runs `body(sim, i, shard)` for every trace index in [0, n), sharded over
 /// `threads` workers in contiguous index blocks, and concatenates the
 /// per-worker shards in index order. `body` must depend only on the trace
 /// index (the determinism contract), which is what makes the sharding
-/// invisible in the result. Failures carry the trace identity rendered by
-/// `describe(i)` and abort the remaining workers (see trace/sharded_pool.h).
-template <typename TraceBody, typename Describe>
-TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
+/// invisible in the result. `Sim` is EventSim or CompiledSim (same
+/// clone()-for-worker-pools contract). Failures carry the trace identity
+/// rendered by `describe(i)` and abort the remaining workers (see
+/// trace/sharded_pool.h).
+template <typename Sim, typename TraceBody, typename Describe>
+TraceSet shardedAcquire(Sim& sim, std::uint32_t numSamples,
                         std::size_t n, std::uint32_t threads,
                         const TraceBody& body, const Describe& describe,
                         const obs::ProgressFn& progress,
@@ -43,7 +71,7 @@ TraceSet shardedAcquire(EventSim& sim, std::uint32_t numSamples,
     return traces;
   }
 
-  std::vector<EventSim> sims;
+  std::vector<Sim> sims;
   sims.reserve(threads);
   std::vector<TraceSet> shards(threads, TraceSet(numSamples));
   for (std::uint32_t w = 0; w < threads; ++w) {
@@ -85,6 +113,40 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
                  const PowerModel& power, const AcquisitionConfig& cfg) {
   const std::vector<std::uint8_t> schedule =
       balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
+  const auto describe = [&](std::size_t i) {
+    return "acquire trace " + std::to_string(i) + " (class " +
+           std::to_string(static_cast<int>(schedule[i])) + ", style " +
+           std::string(sbox.name()) + ")";
+  };
+  const std::uint32_t threads =
+      resolveWorkerThreads(cfg.numThreads, schedule.size());
+
+  if (resolveEngine(cfg.engine, sim, power) == SimEngine::Compiled) {
+    // Fast path: fused deposition, no Transition list materialized. The
+    // per-trace protocol — stream derivation, encode order, the decode
+    // sanity check, the noise-seed draw — is the reference body's verbatim;
+    // runFused(fin, s) == power.sample(run(fin), s) bit-for-bit.
+    const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
+    CompiledSim csim(design, sim.options());
+    csim.attachMetrics(sim.metricsRegistry());
+    const auto body = [&](CompiledSim& worker, std::size_t i, TraceSet& out) {
+      const std::uint8_t cls = schedule[i];
+      Prng rng(deriveStreamSeed(cfg.seed, i));
+      const std::vector<std::uint8_t> init =
+          sbox.encode(cfg.initialValue, rng);
+      worker.settle(init);
+      const std::vector<std::uint8_t> fin = sbox.encode(cls, rng);
+      const std::uint64_t noiseSeed = rng.next() | 1ULL;
+      const std::vector<double>& trace = worker.runFused(fin, noiseSeed);
+      const std::uint8_t decoded = sbox.decode(worker.outputValues(), fin);
+      if (decoded != kPresentSbox[cls]) {
+        throw std::logic_error("acquisition: decode mismatch");
+      }
+      out.add(cls, trace);
+    };
+    return shardedAcquire(csim, power.options().numSamples, schedule.size(),
+                          threads, body, describe, cfg.progress, "acquire");
+  }
 
   const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
     const std::uint8_t cls = schedule[i];
@@ -102,21 +164,43 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
     }
     out.add(cls, power.sample(transitions, rng.next() | 1ULL));
   };
-  const auto describe = [&](std::size_t i) {
-    return "acquire trace " + std::to_string(i) + " (class " +
-           std::to_string(static_cast<int>(schedule[i])) + ", style " +
-           std::string(sbox.name()) + ")";
-  };
 
   return shardedAcquire(sim, power.options().numSamples, schedule.size(),
-                        resolveWorkerThreads(cfg.numThreads, schedule.size()),
-                        body, describe, cfg.progress, "acquire");
+                        threads, body, describe, cfg.progress, "acquire");
 }
 
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
                       const PowerModel& power, std::uint8_t key,
                       std::uint32_t numTraces, std::uint64_t seed,
-                      std::uint32_t numThreads) {
+                      std::uint32_t numThreads, SimEngine engine) {
+  const auto describe = [&](std::size_t i) {
+    // The plaintext is the first draw of the trace's stream; re-derive it
+    // so the error names the stimulus, not just the index.
+    const std::uint8_t plain = Prng(deriveStreamSeed(seed, i)).nibble();
+    return "keyed trace " + std::to_string(i) + " (plaintext " +
+           std::to_string(static_cast<int>(plain)) + ", style " +
+           std::string(sbox.name()) + ")";
+  };
+  const std::uint32_t threads = resolveWorkerThreads(numThreads, numTraces);
+
+  if (resolveEngine(engine, sim, power) == SimEngine::Compiled) {
+    const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
+    CompiledSim csim(design, sim.options());
+    csim.attachMetrics(sim.metricsRegistry());
+    const auto body = [&](CompiledSim& worker, std::size_t i, TraceSet& out) {
+      Prng rng(deriveStreamSeed(seed, i));
+      const std::uint8_t plain = rng.nibble();
+      const std::vector<std::uint8_t> init = sbox.encode(0, rng);
+      worker.settle(init);
+      const std::vector<std::uint8_t> fin =
+          sbox.encode(static_cast<std::uint8_t>(plain ^ key), rng);
+      out.add(plain, worker.runFused(fin, rng.next() | 1ULL));
+    };
+    return shardedAcquire(csim, power.options().numSamples, numTraces,
+                          threads, body, describe, obs::ProgressFn(),
+                          "acquire-keyed");
+  }
+
   const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
     Prng rng(deriveStreamSeed(seed, i));
     const std::uint8_t plain = rng.nibble();
@@ -126,14 +210,6 @@ TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
         sbox.encode(static_cast<std::uint8_t>(plain ^ key), rng);
     const std::vector<Transition> transitions = worker.run(fin);
     out.add(plain, power.sample(transitions, rng.next() | 1ULL));
-  };
-  const auto describe = [&](std::size_t i) {
-    // The plaintext is the first draw of the trace's stream; re-derive it
-    // so the error names the stimulus, not just the index.
-    const std::uint8_t plain = Prng(deriveStreamSeed(seed, i)).nibble();
-    return "keyed trace " + std::to_string(i) + " (plaintext " +
-           std::to_string(static_cast<int>(plain)) + ", style " +
-           std::string(sbox.name()) + ")";
   };
 
   return shardedAcquire(sim, power.options().numSamples, numTraces,

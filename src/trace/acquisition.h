@@ -53,6 +53,25 @@
 
 namespace lpa {
 
+/// Which simulation engine serves an acquisition.
+///
+/// `Auto` (the default) picks the compiled fast path (sim/compiled_sim.h)
+/// whenever the design is eligible — no fault overlay on the netlist and a
+/// power model built for it — and falls back to the reference EventSim
+/// otherwise. Acquisition itself never needs the recorded transition list
+/// (power deposition is fused into the commit step), so eligibility is
+/// purely a property of the design. The two engines are bit-identical
+/// (same traces, same determinism digest, same event tallies; enforced by
+/// tests/test_compiled_sim.cpp), so `Auto` is safe everywhere; `Reference`
+/// and `Compiled` force one engine for A/B benchmarking and CI digest
+/// cross-checks. Forcing `Compiled` on an ineligible design throws
+/// std::invalid_argument.
+enum class SimEngine : std::uint8_t {
+  Auto,       ///< compiled when eligible, reference otherwise
+  Compiled,   ///< require the compiled fast path (throws if ineligible)
+  Reference,  ///< always the reference EventSim
+};
+
 struct AcquisitionConfig {
   std::uint32_t tracesPerClass = 64;
   std::uint8_t initialValue = 0x0;  ///< the fixed constant of the protocol
@@ -69,6 +88,9 @@ struct AcquisitionConfig {
   /// acquisition cooperatively (throws obs::ProgressAborted). Reporting is
   /// a pure sink — with or without a sink the TraceSet is bit-identical.
   obs::ProgressFn progress;
+  /// Engine selection; any choice yields bit-identical results (see
+  /// SimEngine).
+  SimEngine engine = SimEngine::Auto;
 };
 
 /// The Fig. 5 protocol's balanced, shuffled 16-class schedule: 16 *
@@ -80,8 +102,9 @@ std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
 
 /// Collects a balanced, labelled trace set from `sbox` using the simulator
 /// and power model (both must be built for sbox.netlist()). `sim` is used
-/// as the prototype for per-worker clones; its state after the call is
-/// unspecified.
+/// as the prototype for per-worker clones (netlist, delay model, options,
+/// metrics attachment — also when the compiled engine serves the run); its
+/// state after the call is unspecified.
 TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
                  const PowerModel& power,
                  const AcquisitionConfig& cfg = {});
@@ -93,6 +116,7 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
                       const PowerModel& power, std::uint8_t key,
                       std::uint32_t numTraces, std::uint64_t seed = 1,
-                      std::uint32_t numThreads = 0);
+                      std::uint32_t numThreads = 0,
+                      SimEngine engine = SimEngine::Auto);
 
 }  // namespace lpa
