@@ -3,8 +3,10 @@
 // one table or figure of the paper and prints it as aligned text (and the
 // figure benches additionally emit CSV-ish rows easy to plot).
 //
-// Observability flags (every bench accepts them, see DESIGN.md §8):
-//   --json <path>    write a machine-readable run report (lpa-run-report/1)
+// Observability flags (every bench accepts them, see DESIGN.md §8/§10):
+//   --json <path>    write a machine-readable run report (lpa-run-report/2)
+//   --ledger <path>  append the report to a JSONL run ledger
+//                    (lpa-run-ledger/1; tools/lpa_dashboard.py renders it)
 //   --trace <path>   write a Chrome trace-event JSON (chrome://tracing)
 //   --progress       render a live progress line on stderr
 
@@ -73,9 +75,10 @@ inline std::string styleName(SboxStyle s) {
 /// Observability flags shared by every bench/example binary, plus whatever
 /// positional arguments the binary defines for itself.
 struct BenchArgs {
-  std::string jsonPath;   ///< --json <path>: run-report destination
-  std::string tracePath;  ///< --trace <path>: Chrome trace destination
-  bool progress = false;  ///< --progress: live stderr progress line
+  std::string jsonPath;    ///< --json <path>: run-report destination
+  std::string ledgerPath;  ///< --ledger <path>: JSONL run-ledger to append to
+  std::string tracePath;   ///< --trace <path>: Chrome trace destination
+  bool progress = false;   ///< --progress: live stderr progress line
   std::vector<std::string> positional;  ///< everything unrecognized, in order
 };
 
@@ -101,6 +104,10 @@ inline BenchArgs parseBenchArgs(int argc, char** argv) {
       args.jsonPath = value("--json");
     } else if (a.rfind("--json=", 0) == 0) {
       args.jsonPath = a.substr(7);
+    } else if (a == "--ledger") {
+      args.ledgerPath = value("--ledger");
+    } else if (a.rfind("--ledger=", 0) == 0) {
+      args.ledgerPath = a.substr(9);
     } else if (a == "--trace") {
       args.tracePath = value("--trace");
     } else if (a.rfind("--trace=", 0) == 0) {
@@ -156,6 +163,14 @@ class RunScope {
         std::fprintf(stderr, "run report: %s\n", args_.jsonPath.c_str());
       } catch (const std::exception& e) {
         std::fprintf(stderr, "run report failed: %s\n", e.what());
+      }
+    }
+    if (!args_.ledgerPath.empty()) {
+      try {
+        report_.appendTo(args_.ledgerPath);
+        std::fprintf(stderr, "run ledger: %s\n", args_.ledgerPath.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "run ledger failed: %s\n", e.what());
       }
     }
     if (!args_.tracePath.empty()) {

@@ -1,0 +1,35 @@
+#include "analysis/ordering.h"
+
+#include <algorithm>
+
+namespace lpa {
+
+std::vector<OrderingResolution> resolveRanking(
+    std::vector<StyleLeakage> styles, double confidence) {
+  std::stable_sort(styles.begin(), styles.end(),
+                   [](const StyleLeakage& a, const StyleLeakage& b) {
+                     return a.total.estimate > b.total.estimate;
+                   });
+  std::vector<OrderingResolution> pairs;
+  if (styles.size() < 2) return pairs;
+  pairs.reserve(styles.size() - 1);
+  for (std::size_t i = 0; i + 1 < styles.size(); ++i) {
+    OrderingResolution r;
+    r.moreLeaky = styles[i].style;
+    r.lessLeaky = styles[i + 1].style;
+    r.verdict =
+        stats::resolveOrdering(styles[i].total, styles[i + 1].total,
+                               confidence);
+    pairs.push_back(r);
+  }
+  return pairs;
+}
+
+bool rankingFullyResolved(const std::vector<OrderingResolution>& pairs) {
+  for (const OrderingResolution& p : pairs) {
+    if (!p.verdict.resolved) return false;
+  }
+  return true;
+}
+
+}  // namespace lpa

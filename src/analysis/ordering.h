@@ -1,0 +1,42 @@
+#pragma once
+// Statistical resolution of the paper's leakage orderings (DESIGN.md §10).
+//
+// The paper's headline claims are *orderings* (Fig. 7: LUT > OPT > TI >
+// RSM-ROM > RSM > GLUT > ISW in total leakage). With interval estimates
+// from stats::StreamingLeakage we can report, per adjacent pair, whether
+// the measured ordering is statistically resolved at a confidence level or
+// could still be a seed artifact — the per-pair z test of
+// stats::resolveOrdering lifted to the full style ranking.
+
+#include <cstdint>
+#include <vector>
+
+#include "sboxes/masked_sbox.h"
+#include "stats/confidence.h"
+
+namespace lpa {
+
+/// One style's interval estimate of total leakage.
+struct StyleLeakage {
+  SboxStyle style;
+  stats::AggregateCi total;
+  std::uint64_t traces = 0;
+};
+
+/// The verdict for one pair of styles, ordered by point estimate.
+struct OrderingResolution {
+  SboxStyle moreLeaky;  ///< larger point estimate
+  SboxStyle lessLeaky;
+  stats::OrderingVerdict verdict;
+};
+
+/// Sorts `styles` by descending total-leakage point estimate and tests
+/// every *adjacent* pair of the ranking (the pairs that define the
+/// ordering) at `confidence`. Returns the pairs in ranking order.
+std::vector<OrderingResolution> resolveRanking(
+    std::vector<StyleLeakage> styles, double confidence = 0.95);
+
+/// True when every adjacent pair of the ranking is resolved.
+bool rankingFullyResolved(const std::vector<OrderingResolution>& pairs);
+
+}  // namespace lpa

@@ -74,4 +74,21 @@ SpectralAnalysis SboxExperiment::analyzeAt(double months,
   return SpectralAnalysis(traces, 0, mode);
 }
 
+stats::AdaptiveResult SboxExperiment::adaptiveAcquireAt(
+    double months, const stats::StreamingLeakage::Options& statsOpt) {
+  applyAge(months);
+  return stats::adaptiveAcquire(*sbox_, sim_, power_, cfg_.acquisition,
+                                statsOpt);
+}
+
+stats::LeakageEstimate SboxExperiment::estimateAt(double months,
+                                                  EstimatorMode mode) {
+  const TraceSet traces = acquireAt(months);
+  stats::StreamingLeakage::Options opt;
+  opt.mode = mode;
+  stats::StreamingLeakage stream(traces.numSamples(), opt);
+  stream.addTraceSet(traces);
+  return stream.estimate();
+}
+
 }  // namespace lpa

@@ -12,6 +12,7 @@
 #include "sboxes/masked_sbox.h"
 #include "sim/delay_model.h"
 #include "sim/event_sim.h"
+#include "stats/adaptive.h"
 #include "trace/acquisition.h"
 
 namespace lpa {
@@ -72,6 +73,19 @@ class SboxExperiment {
   /// mask-sampling noise floor (recommended for cross-style comparisons).
   SpectralAnalysis analyzeAt(double months,
                              EstimatorMode mode = EstimatorMode::Raw);
+
+  /// Convergence-gated acquisition at `months` (stats/adaptive.h): batches
+  /// of `acquisition.batchSize` traces until the total-leakage CI meets
+  /// `acquisition.targetCiRel` or `acquisition.maxTraces` is reached.
+  /// Returns the traces together with the final interval estimate and the
+  /// per-batch convergence history.
+  stats::AdaptiveResult adaptiveAcquireAt(
+      double months, const stats::StreamingLeakage::Options& statsOpt = {});
+
+  /// Acquire + streaming interval estimate in one step — the estimate's
+  /// point values are bit-identical to analyzeAt(months, mode) aggregates.
+  stats::LeakageEstimate estimateAt(
+      double months, EstimatorMode mode = EstimatorMode::Debiased);
 
   /// Per-gate aging factors at `months` (exposed for inspection/benches).
   AgingFactors agingFactorsAt(double months);

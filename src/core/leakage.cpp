@@ -22,28 +22,29 @@ SpectralAnalysis::SpectralAnalysis(const TraceSet& traces, std::size_t firstN,
   const std::size_t n =
       firstN == 0 ? traces.size() : std::min(firstN, traces.size());
 
-  // Per-class mean and (unbiased) variance per sample, via Welford.
-  std::vector<std::vector<double>> mean(
-      16, std::vector<double>(numSamples_, 0.0));
-  std::vector<std::vector<double>> m2(
-      16, std::vector<double>(numSamples_, 0.0));
-  std::array<std::uint64_t, 16> count{};
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint8_t c = traces.label(i);
-    const double* x = traces.trace(i);
-    ++count[c];
-    const double k = static_cast<double>(count[c]);
-    for (std::uint32_t s = 0; s < numSamples_; ++s) {
-      const double delta = x[s] - mean[c][s];
-      mean[c][s] += delta / k;
-      m2[c][s] += delta * (x[s] - mean[c][s]);
-    }
-  }
+  // Per-class mean and (unbiased) variance per sample, via Welford — folded
+  // in trace-index order, the accumulator's bit-identity order.
+  stats::ClassCondAccumulator acc(numSamples_, 16);
+  acc.addTraceSet(traces, n);
+  initFromAccumulator(acc);
+}
 
+SpectralAnalysis::SpectralAnalysis(const stats::ClassCondAccumulator& acc,
+                                   EstimatorMode mode)
+    : numSamples_(acc.numSamples()), mode_(mode) {
+  obs::MetricsRegistry::global().counter("wht.analyses").add(1);
+  if (acc.numClasses() != 16) {
+    throw std::invalid_argument("spectral analysis expects 16 classes");
+  }
+  initFromAccumulator(acc);
+}
+
+void SpectralAnalysis::initFromAccumulator(
+    const stats::ClassCondAccumulator& acc) {
   for (auto& wave : coeff_) wave.assign(numSamples_, 0.0);
   std::array<double, 16> f{};
   for (std::uint32_t t = 0; t < numSamples_; ++t) {
-    for (std::uint32_t c = 0; c < 16; ++c) f[c] = mean[c][t];
+    for (std::uint32_t c = 0; c < 16; ++c) f[c] = acc.mean(c, t);
     const std::array<double, 16> a = whtCoefficients16(f);
     for (std::uint32_t u = 0; u < 16; ++u) coeff_[u][t] = a[u];
   }
@@ -53,17 +54,7 @@ SpectralAnalysis::SpectralAnalysis(const TraceSet& traces, std::size_t firstN,
   // identical for every u by orthonormality.
   noiseFloor_.assign(numSamples_, 0.0);
   if (mode_ == EstimatorMode::Debiased) {
-    for (std::uint32_t t = 0; t < numSamples_; ++t) {
-      double floor = 0.0;
-      for (std::uint32_t c = 0; c < 16; ++c) {
-        if (count[c] >= 2) {
-          const double var =
-              m2[c][t] / static_cast<double>(count[c] - 1);
-          floor += var / static_cast<double>(count[c]);
-        }
-      }
-      noiseFloor_[t] = floor / 16.0;
-    }
+    noiseFloor_ = acc.noiseFloorPerSample();
   }
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/accumulator.h"
 #include "trace/trace_set.h"
 
 namespace lpa {
@@ -35,6 +36,14 @@ class SpectralAnalysis {
   /// Decomposes the class means of `traces` (16 classes). If `firstN` > 0,
   /// only the first `firstN` traces contribute (Fig. 3 convergence).
   explicit SpectralAnalysis(const TraceSet& traces, std::size_t firstN = 0,
+                            EstimatorMode mode = EstimatorMode::Raw);
+
+  /// Decomposes class-conditional moments accumulated in streaming fashion
+  /// (16 classes). Bit-identical to the TraceSet constructor when the
+  /// accumulator folded the same traces in the same order — this is how
+  /// stats::StreamingLeakage turns running moments into leakage estimates
+  /// without a TraceSet.
+  explicit SpectralAnalysis(const stats::ClassCondAccumulator& acc,
                             EstimatorMode mode = EstimatorMode::Raw);
 
   std::uint32_t numSamples() const { return numSamples_; }
@@ -74,6 +83,7 @@ class SpectralAnalysis {
   double singleBitToTotalRatio() const;
 
  private:
+  void initFromAccumulator(const stats::ClassCondAccumulator& acc);
   std::vector<double> sumOverU(int minWeight, int maxWeight) const;
   std::uint32_t numSamples_;
   EstimatorMode mode_;

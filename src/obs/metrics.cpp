@@ -152,6 +152,48 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  const double firstFiniteBound =
+      std::ldexp(1.0, -detail::HistogramCell::kBucketBias);
+  const double lastFiniteBound =
+      std::ldexp(1.0, detail::HistogramCell::kBuckets - 2 -
+                          detail::HistogramCell::kBucketBias);
+  std::uint64_t cum = 0;
+  for (const auto& [bound, c] : buckets) {
+    if (static_cast<double>(cum + c) < target) {
+      cum += c;
+      continue;
+    }
+    // Samples of a bucket are assumed uniform over (lo, bound]; bucket 0
+    // (bound 2^-20) also holds zeros/negatives, the +inf bucket everything
+    // above the last finite bound. Clamping to [min, max] keeps the
+    // estimate inside the observed range.
+    double lo;
+    double hi;
+    if (std::isinf(bound)) {
+      lo = lastFiniteBound;
+      hi = max;
+    } else if (bound == firstFiniteBound) {
+      lo = 0.0;
+      hi = bound;
+    } else {
+      lo = bound / 2.0;
+      hi = bound;
+    }
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) hi = lo;
+    const double frac =
+        (target - static_cast<double>(cum)) / static_cast<double>(c);
+    return lo + frac * (hi - lo);
+  }
+  return max;
+}
+
 std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
                                          std::uint64_t fallback) const {
   for (const auto& [n, v] : counters) {
@@ -181,6 +223,9 @@ Json MetricsSnapshot::toJson() const {
     entry["min"] = Json(hs.min);
     entry["max"] = Json(hs.max);
     entry["mean"] = Json(hs.mean());
+    entry["p50"] = Json(hs.p50());
+    entry["p95"] = Json(hs.p95());
+    entry["p99"] = Json(hs.p99());
     Json buckets = Json::array();
     for (const auto& [bound, cnt] : hs.buckets) {
       Json b = Json::object();

@@ -154,6 +154,15 @@ struct HistogramSnapshot {
   std::vector<std::pair<double, std::uint64_t>> buckets;
 
   double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Approximate quantile (q in [0, 1]) reconstructed from the log2
+  /// buckets: linear interpolation inside the containing bucket, clamped to
+  /// the exactly-tracked [min, max]. Bucket resolution bounds the error to
+  /// a factor of 2 of the true order statistic. 0 while empty.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
 };
 
 /// Point-in-time copy of every instrument, sorted by name.

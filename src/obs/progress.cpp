@@ -56,9 +56,11 @@ void ProgressMeter::emit(std::uint64_t done, bool force) {
   u.done = done;
   u.total = total_;
   u.elapsedSec = elapsed;
-  u.etaSec = done > 0 && total_ >= done
-                 ? elapsed / static_cast<double>(done) *
-                       static_cast<double>(total_ - done)
+  u.ratePerSec =
+      done > 0 && elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+  // ETA from the rate estimate: remaining / (done / elapsed).
+  u.etaSec = u.ratePerSec > 0.0 && total_ >= done
+                 ? static_cast<double>(total_ - done) / u.ratePerSec
                  : -1.0;
   if (!fn_(u)) abort_.store(true, std::memory_order_relaxed);
   if (force && done >= total_) finished_ = true;
@@ -70,13 +72,22 @@ ProgressFn stderrProgressLine() {
                            ? 100.0 * static_cast<double>(u.done) /
                                  static_cast<double>(u.total)
                            : 100.0;
-    if (u.etaSec >= 0.0 && u.done < u.total) {
-      std::fprintf(stderr, "\r%-14s %llu/%llu (%5.1f%%)  %.1fs elapsed, eta "
-                           "%.1fs   ",
+    if (u.done >= u.total) {
+      // Forced final update: report the total wall time (and the mean rate).
+      std::fprintf(stderr,
+                   "\r%-14s %llu/%llu (%5.1f%%)  done in %.1fs (%.0f/s)      "
+                   "       \n",
                    std::string(u.label).c_str(),
                    static_cast<unsigned long long>(u.done),
                    static_cast<unsigned long long>(u.total), pct, u.elapsedSec,
-                   u.etaSec);
+                   u.ratePerSec);
+    } else if (u.etaSec >= 0.0) {
+      std::fprintf(stderr, "\r%-14s %llu/%llu (%5.1f%%)  %.1fs elapsed, "
+                           "%.0f/s, eta %.1fs   ",
+                   std::string(u.label).c_str(),
+                   static_cast<unsigned long long>(u.done),
+                   static_cast<unsigned long long>(u.total), pct, u.elapsedSec,
+                   u.ratePerSec, u.etaSec);
     } else {
       std::fprintf(stderr, "\r%-14s %llu/%llu (%5.1f%%)  %.1fs elapsed      "
                            "       ",
@@ -85,7 +96,6 @@ ProgressFn stderrProgressLine() {
                    static_cast<unsigned long long>(u.total), pct,
                    u.elapsedSec);
     }
-    if (u.done >= u.total) std::fprintf(stderr, "\n");
     std::fflush(stderr);
     return true;
   };

@@ -32,6 +32,9 @@ struct ProgressUpdate {
   std::uint64_t total = 0;
   double elapsedSec = 0.0;
   double etaSec = -1.0;     ///< < 0: unknown (nothing done yet)
+  /// Throughput estimate done/elapsed (items/sec); the ETA is derived from
+  /// it. 0 while nothing is done or no time has passed.
+  double ratePerSec = 0.0;
 };
 
 /// Return false to request a cooperative abort of the producing loop.

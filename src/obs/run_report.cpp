@@ -39,6 +39,18 @@ void RunReport::setMetrics(const MetricsSnapshot& snapshot) {
   metrics_ = snapshot.toJson();
 }
 
+void RunReport::setStatistic(const std::string& key, Json value) {
+  statistics_[key] = std::move(value);
+}
+
+void RunReport::setStatistics(Json block) {
+  if (!block.isObject()) {
+    throw std::invalid_argument(
+        "RunReport::setStatistics: block must be a JSON object");
+  }
+  statistics_ = std::move(block);
+}
+
 const char* RunReport::gitDescribe() { return LPA_GIT_DESCRIBE; }
 
 Json RunReport::toJson() const {
@@ -54,6 +66,7 @@ Json RunReport::toJson() const {
   if (!metrics.isObject()) metrics = MetricsSnapshot{}.toJson();
   j["metrics"] = std::move(metrics);
   j["leakage"] = leakage_;
+  j["statistics"] = statistics_;
   j["determinism_digest"] = Json(digest_);
   return j;
 }
@@ -71,6 +84,22 @@ void RunReport::writeTo(const std::string& path) const {
   }
 }
 
+void RunReport::appendTo(const std::string& path) const {
+  Json line = Json::object();
+  line["schema"] = ledgerSchemaId();
+  line["report"] = toJson();
+  const std::string text = line.dump(-1) + "\n";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) {
+    throw std::runtime_error("cannot open run-ledger file: " + path);
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok) {
+    throw std::runtime_error("short write to run-ledger file: " + path);
+  }
+}
+
 std::string RunReport::validate(const Json& j) {
   if (!j.isObject()) return "document is not an object";
   const auto str = [&](const char* key) -> std::string {
@@ -80,8 +109,10 @@ std::string RunReport::validate(const Json& j) {
     return "";
   };
   if (auto e = str("schema"); !e.empty()) return e;
-  if (j.find("schema")->asString() != schemaId()) {
-    return "schema is not " + std::string(schemaId());
+  const std::string& schema = j.find("schema")->asString();
+  if (schema != schemaId() && schema != legacySchemaId()) {
+    return "schema is neither " + std::string(schemaId()) + " nor " +
+           std::string(legacySchemaId());
   }
   if (auto e = str("name"); !e.empty()) return e;
   if (j.find("name")->asString().empty()) return "name is empty";
@@ -128,6 +159,48 @@ std::string RunReport::validate(const Json& j) {
       }
     }
   }
+
+  // /2 requires the statistics block; its typed keys are validated when
+  // present (the block is otherwise open for run-specific detail like the
+  // dashboard's per-style matrix).
+  if (schema == std::string(schemaId())) {
+    const Json* stats = j.find("statistics");
+    if (!stats) return "missing key: statistics";
+    if (!stats->isObject()) return "statistics is not an object";
+    for (const char* key : {"traces_total", "min_class_count", "batches",
+                            "total_ci_halfwidth", "total_ci_rel",
+                            "ci_confidence"}) {
+      const Json* v = stats->find(key);
+      if (!v) continue;
+      if (!v->isNumber() || v->asNumber() < 0.0) {
+        return std::string("statistics.") + key +
+               " is not a non-negative number";
+      }
+    }
+    if (const Json* v = stats->find("stop_reason");
+        v && !v->isString()) {
+      return "statistics.stop_reason is not a string";
+    }
+    if (const Json* v = stats->find("adaptive"); v && !v->isBool()) {
+      return "statistics.adaptive is not a bool";
+    }
+  }
+  return "";
+}
+
+std::string RunReport::validateLedgerLine(const Json& j) {
+  if (!j.isObject()) return "ledger line is not an object";
+  const Json* schema = j.find("schema");
+  if (!schema || !schema->isString()) {
+    return "ledger line missing schema string";
+  }
+  if (schema->asString() != ledgerSchemaId()) {
+    return "ledger schema is not " + std::string(ledgerSchemaId());
+  }
+  const Json* report = j.find("report");
+  if (!report) return "ledger line missing report";
+  const std::string err = validate(*report);
+  if (!err.empty()) return "ledger report: " + err;
   return "";
 }
 

@@ -5,11 +5,11 @@
 // scale leave auditable artifacts and the perf trajectory (BENCH_*.json)
 // populates from real runs instead of hand-copied numbers.
 //
-// Schema "lpa-run-report/1" (validated by RunReport::validate and the CI
+// Schema "lpa-run-report/2" (validated by RunReport::validate and the CI
 // smoke job):
 //
 //   {
-//     "schema": "lpa-run-report/1",
+//     "schema": "lpa-run-report/2",
 //     "name": "<run name>",                  // required, non-empty
 //     "git": "<git describe at build time>", // required
 //     "timestamp_unix": <seconds>,           // required
@@ -19,8 +19,24 @@
 //     "metrics": { "counters": {...}, "gauges": {...},
 //                  "histograms": {...} },
 //     "leakage": { "<key>": number, ... },
+//     "statistics": { ... },                 // /2: statistical summary
 //     "determinism_digest": "<digest as %.17g string or free-form>"
 //   }
+//
+// The /2 `statistics` block is an open object for statistical metadata of
+// the run (stats/report.h fills it from a LeakageEstimate): trace counts
+// (`traces_total`, `min_class_count`), CI half-widths
+// (`total_ci_halfwidth`, `total_ci_rel`, ...), and the adaptive-stop reason
+// (`stop_reason`: "fixed" | "ci-target" | "max-traces"). Typed keys are
+// validated when present. validate() accepts both /1 (no statistics) and /2
+// documents, so readers handle pre-stats reports.
+//
+// ## Run ledger (schema "lpa-run-ledger/1")
+//
+// `appendTo()` appends the report to a JSONL ledger — one compact line
+//   {"schema": "lpa-run-ledger/1", "report": { <lpa-run-report/2> }}
+// per run — which tools/lpa_dashboard.py renders and tools/leakage_gate.py
+// gates against the golden ordering.
 
 #include <cstdint>
 #include <string>
@@ -51,14 +67,28 @@ class RunReport {
   void setDigest(double digest);
   void setDigest(std::string digest) { digest_ = std::move(digest); }
   void setMetrics(const MetricsSnapshot& snapshot);
+  /// Sets one key of the /2 `statistics` block.
+  void setStatistic(const std::string& key, Json value);
+  /// Replaces the whole `statistics` block (must be an object).
+  void setStatistics(Json block);
 
   Json toJson() const;
   /// Writes toJson() to `path`; throws std::runtime_error on IO failure.
   void writeTo(const std::string& path) const;
+  /// Appends one compact `lpa-run-ledger/1` line wrapping this report to
+  /// the JSONL ledger at `path` (created if absent); throws on IO failure.
+  void appendTo(const std::string& path) const;
 
-  static const char* schemaId() { return "lpa-run-report/1"; }
-  /// "" when `j` conforms to the schema, otherwise the first violation.
+  static const char* schemaId() { return "lpa-run-report/2"; }
+  /// The previous report schema, still accepted by validate().
+  static const char* legacySchemaId() { return "lpa-run-report/1"; }
+  static const char* ledgerSchemaId() { return "lpa-run-ledger/1"; }
+  /// "" when `j` conforms to the schema (/1 or /2), otherwise the first
+  /// violation.
   static std::string validate(const Json& j);
+  /// "" when `j` is a conforming ledger line (wrapper schema + embedded
+  /// report), otherwise the first violation.
+  static std::string validateLedgerLine(const Json& j);
   /// The git describe string baked in at configure time ("unknown" outside
   /// a git checkout).
   static const char* gitDescribe();
@@ -70,6 +100,7 @@ class RunReport {
   Json phases_ = Json::array();
   Json leakage_ = Json::object();
   Json metrics_ = Json::object();
+  Json statistics_ = Json::object();
   std::string digest_;
 };
 

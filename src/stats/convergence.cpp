@@ -1,0 +1,41 @@
+#include "stats/convergence.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lpa::stats {
+
+ConvergenceMonitor::ConvergenceMonitor(Options opt) : opt_(opt) {
+  if (!(opt_.targetCiRel > 0.0)) {
+    throw std::invalid_argument(
+        "ConvergenceMonitor: targetCiRel must be > 0");
+  }
+}
+
+void ConvergenceMonitor::observe(const LeakageEstimate& e) {
+  ConvergencePoint p;
+  p.traces = e.traces;
+  p.total = e.total;
+  p.ciHalfWidth = e.totalCi.halfWidth;
+  p.ciRel = e.totalCi.relHalfWidth;
+  history_.push_back(p);
+
+  auto& reg = obs::MetricsRegistry::global();
+  reg.gauge("stats.ci_rel").set(p.ciRel);
+  reg.gauge("stats.ci_half_width").set(p.ciHalfWidth);
+  reg.gauge("stats.total_leakage").set(p.total);
+}
+
+bool ConvergenceMonitor::converged() const {
+  if (history_.empty()) return false;
+  const ConvergencePoint& p = history_.back();
+  if (p.traces < opt_.minTraces) return false;
+  return p.ciRel <= opt_.targetCiRel;
+}
+
+double ConvergenceMonitor::currentCiRel() const {
+  return history_.empty() ? std::numeric_limits<double>::infinity()
+                          : history_.back().ciRel;
+}
+
+}  // namespace lpa::stats

@@ -1,0 +1,45 @@
+#include "stats/report.h"
+
+#include <cmath>
+
+namespace lpa::stats {
+
+namespace {
+
+void putCi(obs::Json& block, const char* prefix, const AggregateCi& ci) {
+  if (!ci.resolved()) return;
+  block[std::string(prefix) + "_ci_halfwidth"] = obs::Json(ci.halfWidth);
+  if (std::isfinite(ci.relHalfWidth)) {
+    block[std::string(prefix) + "_ci_rel"] = obs::Json(ci.relHalfWidth);
+  }
+}
+
+}  // namespace
+
+obs::Json statisticsJson(const LeakageEstimate& e, const char* stopReason,
+                         std::uint32_t batches) {
+  obs::Json block = obs::Json::object();
+  block["traces_total"] = obs::Json(e.traces);
+  block["min_class_count"] = obs::Json(e.minClassCount);
+  block["ci_confidence"] = obs::Json(e.confidence);
+  block["estimator_mode"] =
+      obs::Json(e.mode == EstimatorMode::Debiased ? "debiased" : "raw");
+  block["total"] = obs::Json(e.total);
+  block["single_bit"] = obs::Json(e.singleBit);
+  block["multi_bit"] = obs::Json(e.multiBit);
+  block["single_bit_ratio"] = obs::Json(e.singleBitRatio);
+  putCi(block, "total", e.totalCi);
+  putCi(block, "single_bit", e.singleBitCi);
+  putCi(block, "multi_bit", e.multiBitCi);
+  block["stop_reason"] = obs::Json(stopReason);
+  block["adaptive"] = obs::Json(batches > 0);
+  block["batches"] = obs::Json(static_cast<std::uint64_t>(batches));
+  return block;
+}
+
+void fillStatistics(obs::RunReport& report, const LeakageEstimate& e,
+                    const char* stopReason, std::uint32_t batches) {
+  report.setStatistics(statisticsJson(e, stopReason, batches));
+}
+
+}  // namespace lpa::stats

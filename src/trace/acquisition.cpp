@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
 #include "sim/compiled_sim.h"
+#include "stats/adaptive.h"
 #include "trace/sharded_pool.h"
 
 namespace lpa {
@@ -111,6 +112,9 @@ std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
 
 TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
                  const PowerModel& power, const AcquisitionConfig& cfg) {
+  if (cfg.adaptive) {
+    return stats::adaptiveAcquire(sbox, sim, power, cfg).traces;
+  }
   const std::vector<std::uint8_t> schedule =
       balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
   const auto describe = [&](std::size_t i) {

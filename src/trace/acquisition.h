@@ -91,6 +91,28 @@ struct AcquisitionConfig {
   /// Engine selection; any choice yields bit-identical results (see
   /// SimEngine).
   SimEngine engine = SimEngine::Auto;
+
+  // ## Convergence-gated (adaptive) acquisition
+  //
+  // With `adaptive` set, acquire() delegates to stats::adaptiveAcquire
+  // (stats/adaptive.h): traces arrive in deterministic batches of
+  // `batchSize` — batch b is a balanced mini-schedule run under the derived
+  // substream deriveStreamSeed(deriveStreamSeed(seed, kAdaptiveBatchStream),
+  // b), so batch contents depend only on (seed, b, batchSize) — and the run
+  // stops as soon as the relative half-width of the streaming total-leakage
+  // CI reaches `targetCiRel`, or at `maxTraces`. The collected TraceSet is
+  // bit-reproducible given (seed, batchSize) and thread-count invariant,
+  // and a converged run's traces are a prefix of the maxTraces run's.
+  // `tracesPerClass` only serves as the default for maxTraces.
+  bool adaptive = false;
+  /// Stop once halfWidth(total-leakage CI) / total <= this.
+  double targetCiRel = 0.10;
+  /// Traces per adaptive batch; must be a positive multiple of 16 so every
+  /// batch stays class-balanced.
+  std::uint32_t batchSize = 128;
+  /// Adaptive trace budget; 0 = 16 * tracesPerClass. Must be a multiple
+  /// of 16.
+  std::uint64_t maxTraces = 0;
 };
 
 /// The Fig. 5 protocol's balanced, shuffled 16-class schedule: 16 *

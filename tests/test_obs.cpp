@@ -349,9 +349,85 @@ TEST(Progress, StderrLineSinkNeverAborts) {
   u.total = 2;
   u.elapsedSec = 0.5;
   u.etaSec = 0.5;
+  u.ratePerSec = 2.0;
   EXPECT_TRUE(sink(u));
   u.done = 2;
   EXPECT_TRUE(sink(u));
+}
+
+TEST(Progress, RateAndEtaDerivedFromThroughput) {
+  // The meter publishes done/elapsed as ratePerSec and derives the ETA
+  // from it: eta ~= remaining / rate. The final (forced) update carries
+  // the total wall time with eta 0.
+  std::vector<obs::ProgressUpdate> seen;
+  obs::ProgressMeter meter(
+      "rate", 10,
+      [&seen](const obs::ProgressUpdate& u) {
+        seen.push_back(u);
+        return true;
+      },
+      /*minIntervalSec=*/0.0);
+  for (int i = 0; i < 10; ++i) meter.step();
+  meter.finish();
+  ASSERT_FALSE(seen.empty());
+  for (const obs::ProgressUpdate& u : seen) {
+    EXPECT_GE(u.ratePerSec, 0.0);
+    if (u.ratePerSec > 0.0 && u.done < u.total) {
+      // ETA consistency with the published rate.
+      const double expect =
+          static_cast<double>(u.total - u.done) / u.ratePerSec;
+      EXPECT_NEAR(u.etaSec, expect, 1e-9 + expect * 1e-9);
+    }
+  }
+  const obs::ProgressUpdate& last = seen.back();
+  EXPECT_EQ(last.done, 10u);
+  EXPECT_GT(last.ratePerSec, 0.0);
+  EXPECT_GE(last.elapsedSec, 0.0);
+  EXPECT_EQ(last.etaSec, 0.0);
+}
+
+TEST(HistogramSnapshot, QuantilesFromLog2Buckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram("h");
+  // 100 samples uniform on (0, 100]: the log2-bucket reconstruction must
+  // land within a factor of 2 of the true order statistic, clamped to the
+  // exact [min, max].
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<double>(i));
+  const obs::HistogramSnapshot hs = reg.snapshot().histograms[0].second;
+
+  EXPECT_EQ(hs.quantile(0.0), 1.0);    // clamps to exact min
+  EXPECT_EQ(hs.quantile(1.0), 100.0);  // clamps to exact max
+  const double p50 = hs.p50();
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 100.0);
+  const double p95 = hs.p95();
+  EXPECT_GE(p95, 64.0);  // true value 95, bucket floor 64
+  EXPECT_LE(p95, 100.0);
+  EXPECT_LE(hs.p50(), hs.p95());
+  EXPECT_LE(hs.p95(), hs.p99());
+
+  // Degenerate cases: empty -> 0; single value -> that value everywhere.
+  obs::MetricsRegistry reg2;
+  EXPECT_EQ(obs::HistogramSnapshot{}.p99(), 0.0);
+  obs::Histogram one = reg2.histogram("one");
+  one.record(3.5);
+  const obs::HistogramSnapshot os = reg2.snapshot().histograms[0].second;
+  EXPECT_EQ(os.p50(), 3.5);
+  EXPECT_EQ(os.p99(), 3.5);
+}
+
+TEST(HistogramSnapshot, QuantilesInJsonSnapshot) {
+  obs::MetricsRegistry reg;
+  obs::Histogram h = reg.histogram("lat");
+  for (int i = 0; i < 32; ++i) h.record(1.0 + i);
+  const obs::Json j = reg.snapshot().toJson();
+  const obs::Json* entry = j.find("histograms")->find("lat");
+  ASSERT_NE(entry, nullptr);
+  for (const char* q : {"p50", "p95", "p99"}) {
+    const obs::Json* v = entry->find(q);
+    ASSERT_NE(v, nullptr) << q;
+    EXPECT_GT(v->asNumber(), 0.0);
+  }
 }
 
 }  // namespace

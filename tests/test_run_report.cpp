@@ -183,5 +183,100 @@ TEST(RunReport, WriteToUnwritablePathThrows) {
                std::runtime_error);
 }
 
+TEST(RunReport, StatisticsBlockRoundTrips) {
+  obs::RunReport report = makeReport();
+  report.setStatistic("traces_total", obs::Json(3712.0));
+  report.setStatistic("stop_reason", obs::Json("ci-target"));
+  report.setStatistic("adaptive", obs::Json(true));
+  const obs::Json j = report.toJson();
+  EXPECT_EQ(obs::RunReport::validate(j), "");
+  EXPECT_EQ(j.find("schema")->asString(), "lpa-run-report/2");
+  const obs::Json* st = j.find("statistics");
+  ASSERT_NE(st, nullptr);
+  EXPECT_EQ(st->find("traces_total")->asNumber(), 3712.0);
+  EXPECT_EQ(st->find("stop_reason")->asString(), "ci-target");
+  EXPECT_EQ(st->find("adaptive")->asBool(), true);
+
+  // Whole-block replacement requires an object.
+  obs::Json block = obs::Json::object();
+  block["batches"] = obs::Json(15.0);
+  report.setStatistics(block);
+  EXPECT_EQ(report.toJson().find("statistics")->find("traces_total"),
+            nullptr);
+  EXPECT_THROW(report.setStatistics(obs::Json(1.0)), std::invalid_argument);
+}
+
+TEST(RunReport, ValidateAcceptsLegacySchemaAndRejectsUnknown) {
+  obs::Json j = makeReport().toJson();
+
+  // A /1 document (no statistics block) must still validate.
+  obs::Json legacy = obs::Json::object();
+  for (const char* key : {"name", "git", "timestamp_unix", "seed", "params",
+                          "phases", "metrics", "leakage",
+                          "determinism_digest"}) {
+    legacy[key] = *j.find(key);
+  }
+  legacy["schema"] = obs::Json(obs::RunReport::legacySchemaId());
+  EXPECT_EQ(obs::RunReport::validate(legacy), "");
+
+  // Unknown future schema: rejected.
+  obs::Json future = j;
+  future["schema"] = obs::Json("lpa-run-report/3");
+  EXPECT_NE(obs::RunReport::validate(future), "");
+}
+
+TEST(RunReport, ValidateRejectsMalformedStatistics) {
+  obs::Json j = makeReport().toJson();
+
+  obs::Json notObject = j;
+  notObject["statistics"] = obs::Json(1.0);
+  EXPECT_NE(obs::RunReport::validate(notObject), "");
+
+  obs::Json negCount = j;
+  negCount["statistics"]["traces_total"] = obs::Json(-5.0);
+  EXPECT_NE(obs::RunReport::validate(negCount), "");
+
+  obs::Json badStop = j;
+  badStop["statistics"]["stop_reason"] = obs::Json(3.0);
+  EXPECT_NE(obs::RunReport::validate(badStop), "");
+
+  obs::Json badFlag = j;
+  badFlag["statistics"]["adaptive"] = obs::Json("yes");
+  EXPECT_NE(obs::RunReport::validate(badFlag), "");
+
+  // Open block: unknown keys of any type are fine.
+  obs::Json openKeys = j;
+  openKeys["statistics"]["matrix"] = obs::Json::array();
+  EXPECT_EQ(obs::RunReport::validate(openKeys), "");
+}
+
+TEST(RunReport, LedgerAppendAndValidate) {
+  const std::string path = ::testing::TempDir() + "lpa_ledger_test.jsonl";
+  std::remove(path.c_str());
+  makeReport().appendTo(path);
+  makeReport().appendTo(path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const obs::Json entry = obs::Json::parse(line);
+    EXPECT_EQ(obs::RunReport::validateLedgerLine(entry), "");
+    EXPECT_EQ(entry.find("schema")->asString(),
+              obs::RunReport::ledgerSchemaId());
+    EXPECT_EQ(obs::RunReport::validate(*entry.find("report")), "");
+  }
+  EXPECT_EQ(lines, 2u);  // appendTo appends, never truncates
+  std::remove(path.c_str());
+
+  obs::Json bad = obs::Json::object();
+  bad["schema"] = obs::Json("lpa-run-ledger/9");
+  bad["report"] = makeReport().toJson();
+  EXPECT_NE(obs::RunReport::validateLedgerLine(bad), "");
+  EXPECT_NE(obs::RunReport::validateLedgerLine(obs::Json::parse("{}")), "");
+}
+
 }  // namespace
 }  // namespace lpa

@@ -5,8 +5,8 @@ Compares the current benchmark outputs against the checked-in baseline
 (BENCH_baseline.json) and exits non-zero on a regression. Two kinds of
 inputs are understood, auto-detected per file:
 
-  * lpa run reports     ("schema": "lpa-run-report/1") — written by the
-    bench binaries with --json (e.g. bench_acquire_scaling).
+  * lpa run reports     ("schema": "lpa-run-report/1" or /2) — written by
+    the bench binaries with --json (e.g. bench_acquire_scaling).
   * google-benchmark    ({"benchmarks": [...]}) — written by bench_perf
     with --benchmark_out=<file> --benchmark_out_format=json.
 
@@ -47,7 +47,7 @@ import json
 import sys
 
 BASELINE_SCHEMA = "lpa-bench-baseline/1"
-RUN_REPORT_SCHEMA = "lpa-run-report/1"
+RUN_REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2")
 
 # Run-report params pinned (must equal the baseline before digests are
 # comparable), contract booleans, ratio params, and throughput params.
@@ -64,7 +64,7 @@ def load_inputs(paths):
     for path in paths:
         with open(path) as f:
             data = json.load(f)
-        if data.get("schema") == RUN_REPORT_SCHEMA:
+        if data.get("schema") in RUN_REPORT_SCHEMAS:
             reports[data["name"]] = data
         elif "benchmarks" in data:
             for bm in data["benchmarks"]:
