@@ -126,13 +126,14 @@ int main(int argc, char** argv) {
   report.setParam("obs_overhead_pct", overheadPct);
   report.setParam("obs_bit_identical", obs::Json(abIdentical));
 
-  // Engine A/B: reference EventSim vs the compiled fast path (single
-  // thread, so the ratio is pure per-trace engine cost). Repetitions are
-  // interleaved against frequency drift; the digests must match
-  // bit-for-bit (the compiled-engine identity contract,
-  // sim/compiled_sim.h). compiled_speedup is machine-independent and is
-  // what the CI perf gate pins (tools/bench_compare.py).
-  std::printf("\nengine A/B (reference vs compiled, 1 thread):\n");
+  // Engine A/B/C: reference EventSim vs the compiled scalar fast path vs
+  // the bit-parallel batch engine (single thread, so each ratio is pure
+  // per-trace engine cost). Repetitions of all three sides are interleaved
+  // against frequency drift; the three digests must match bit-for-bit (the
+  // identity contracts of sim/compiled_sim.h and sim/batch_sim.h).
+  // compiled_speedup and batch_speedup are machine-independent ratios and
+  // are what the CI perf gate pins (tools/bench_compare.py).
+  std::printf("\nengine A/B/C (reference vs compiled vs batch, 1 thread):\n");
   auto makeEngine = [&](SimEngine engine) {
     ExperimentConfig ecfg;
     ecfg.acquisition.tracesPerClass = tracesPerClass;
@@ -142,8 +143,9 @@ int main(int argc, char** argv) {
   };
   SboxExperiment engRef = makeEngine(SimEngine::Reference);
   SboxExperiment engCmp = makeEngine(SimEngine::Compiled);
-  double secsRef = 1e300, secsCmp = 1e300;
-  double digRef = 0.0, digCmp = 0.0;
+  SboxExperiment engBat = makeEngine(SimEngine::Batch);
+  double secsRef = 1e300, secsCmp = 1e300, secsBat = 1e300;
+  double digRef = 0.0, digCmp = 0.0, digBat = 0.0;
   {
     obs::PhaseTimer phase(report, "ab.engine");
     for (int rep = 0; rep < 5; ++rep) {
@@ -154,19 +156,26 @@ int main(int argc, char** argv) {
       secsCmp = std::min(secsCmp,
                          bench::bestOf(1, [&] { ts = engCmp.acquireAt(0.0); }));
       digCmp = digest(ts);
+      secsBat = std::min(secsBat,
+                         bench::bestOf(1, [&] { ts = engBat.acquireAt(0.0); }));
+      digBat = digest(ts);
     }
   }
   const double engineSpeedup = secsRef / secsCmp;
-  const bool engIdentical = digRef == digCmp;
+  const double batchSpeedup = secsRef / secsBat;
+  const bool engIdentical = digRef == digCmp && digRef == digBat;
   allIdentical = allIdentical && engIdentical;
   std::printf(
       "  reference %.4fs (%.0f traces/sec), compiled %.4fs (%.0f "
-      "traces/sec), speedup %.2fx, bit-ident %s\n",
-      secsRef, n / secsRef, secsCmp, n / secsCmp, engineSpeedup,
-      engIdentical ? "yes" : "NO");
+      "traces/sec, %.2fx),\n  batch %.4fs (%.0f traces/sec, %.2fx), "
+      "bit-ident %s\n",
+      secsRef, n / secsRef, secsCmp, n / secsCmp, engineSpeedup, secsBat,
+      n / secsBat, batchSpeedup, engIdentical ? "yes" : "NO");
   report.setParam("traces_per_sec_reference", n / secsRef);
   report.setParam("traces_per_sec_compiled", n / secsCmp);
+  report.setParam("traces_per_sec_batch", n / secsBat);
   report.setParam("compiled_speedup", engineSpeedup);
+  report.setParam("batch_speedup", batchSpeedup);
   report.setParam("engine_bit_identical", obs::Json(engIdentical));
   report.setLeakage("glut_fresh_total",
                     SpectralAnalysis(exp.acquireAt(0.0), 0,

@@ -38,6 +38,31 @@ inline double triangleKernelCdf(double u, double halfW) {
   return 0.5 + (u <= 0.0 ? u / halfW + q : u / halfW - q);
 }
 
+/// First/last sample bins overlapped by a pulse centred at `timePs` (bin k
+/// covers [k*dt, (k+1)*dt)); returns false when the pulse misses the window
+/// entirely (then k0 > k1). Factored out of depositPulse so the batch
+/// engine (sim/batch_sim.h) can compute the footprint once per commit and
+/// share it across lanes.
+inline bool pulseBinRange(std::uint32_t numSamples, double dt, double halfW,
+                          double timePs, int& k0, int& k1) {
+  const double t0 = timePs - halfW;
+  const double t1 = timePs + halfW;
+  k0 = std::max(static_cast<int>(std::floor(t0 / dt)), 0);
+  k1 = std::min(static_cast<int>(std::floor(t1 / dt)),
+                static_cast<int>(numSamples) - 1);
+  return k0 <= k1;
+}
+
+/// Overlap fraction of the pulse over sample bin k. The lanes of a batch
+/// commit share the commit time and hence this value; only the energy
+/// scalar differs per lane — which is why the helper takes no energy.
+inline double pulseBinFraction(double dt, double halfW, double timePs,
+                               int k) {
+  const double lo = k * dt - timePs;
+  const double hi = (k + 1) * dt - timePs;
+  return triangleKernelCdf(hi, halfW) - triangleKernelCdf(lo, halfW);
+}
+
 /// Exact integration of one triangular current pulse (centre `timePs`,
 /// half-width `halfW`, area `energy`) over each overlapped sample bin (bin
 /// k covers [k*dt, (k+1)*dt)): energy is conserved regardless of how the
@@ -45,20 +70,14 @@ inline double triangleKernelCdf(double u, double halfW) {
 /// the sampling window (the power.pulses_deposited counting condition).
 inline bool depositPulse(double* trace, std::uint32_t numSamples, double dt,
                          double halfW, double timePs, double energy) {
-  const double t0 = timePs - halfW;
-  const double t1 = timePs + halfW;
-  int k0 = static_cast<int>(std::floor(t0 / dt));
-  int k1 = static_cast<int>(std::floor(t1 / dt));
-  k0 = std::max(k0, 0);
-  k1 = std::min(k1, static_cast<int>(numSamples) - 1);
+  int k0 = 0;
+  int k1 = -1;
+  const bool overlaps = pulseBinRange(numSamples, dt, halfW, timePs, k0, k1);
   for (int k = k0; k <= k1; ++k) {
-    const double lo = k * dt - timePs;
-    const double hi = (k + 1) * dt - timePs;
-    const double frac =
-        triangleKernelCdf(hi, halfW) - triangleKernelCdf(lo, halfW);
+    const double frac = pulseBinFraction(dt, halfW, timePs, k);
     if (frac > 0.0) trace[static_cast<std::size_t>(k)] += energy * frac;
   }
-  return k0 <= k1;
+  return overlaps;
 }
 
 /// Additive Gaussian measurement noise, deterministic per seed; a zero

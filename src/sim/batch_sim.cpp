@@ -1,0 +1,680 @@
+#include "sim/batch_sim.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace lpa {
+
+namespace {
+
+inline std::uint64_t timeToBits(double t) {
+  std::uint64_t b;
+  std::memcpy(&b, &t, sizeof(b));
+  return b;
+}
+
+inline double bitsToTime(std::uint64_t b) {
+  double t;
+  std::memcpy(&t, &b, sizeof(t));
+  return t;
+}
+
+/// Broadcast of one truth-table bit to all 64 lanes.
+inline std::uint64_t fill64(unsigned bit) {
+  return std::uint64_t(0) - std::uint64_t(bit & 1u);
+}
+
+/// One 4-entry truth-table nibble evaluated over two packed fanin words:
+/// lane l of the result is nib[a_l + 2 b_l].
+inline std::uint64_t plane64(unsigned nib, std::uint64_t a, std::uint64_t b) {
+  return (fill64(nib) & ~a & ~b) | (fill64(nib >> 1) & a & ~b) |
+         (fill64(nib >> 2) & ~a & b) | (fill64(nib >> 3) & a & b);
+}
+
+/// Word-parallel twin of CompiledSim's evalTable: gathers the four packed
+/// fanin words (unused slots alias slot 0) and evaluates the gate's
+/// 16-entry truth table for all 64 lanes at once. Lane l of the result is
+/// bit (a_l | b_l<<1 | c_l<<2 | d_l<<3) of tt — boolean-identical to the
+/// scalar gather by construction.
+inline std::uint64_t evalTable64(const std::uint32_t* fan, std::uint16_t tt,
+                                 const std::uint64_t* stateW) {
+  const std::uint64_t a = stateW[fan[0]];
+  const std::uint64_t b = stateW[fan[1]];
+  const std::uint64_t c = stateW[fan[2]];
+  const std::uint64_t d = stateW[fan[3]];
+  const std::uint64_t r0 = plane64(tt & 0xFu, a, b);
+  const std::uint64_t r1 = plane64((tt >> 4) & 0xFu, a, b);
+  const std::uint64_t r2 = plane64((tt >> 8) & 0xFu, a, b);
+  const std::uint64_t r3 = plane64((tt >> 12) & 0xFu, a, b);
+  const std::uint64_t q0 = (r0 & ~c) | (r1 & c);
+  const std::uint64_t q1 = (r2 & ~c) | (r3 & c);
+  return (q0 & ~d) | (q1 & d);
+}
+
+inline int ctz64(std::uint64_t w) { return __builtin_ctzll(w); }
+
+/// First 16 bytes of a QueueEvent as one little-endian unsigned 128-bit
+/// integer: (timeBits << 64) | key. Comparing these realizes the calendar's
+/// (timeBits, key) pop order as a single branchless wide compare.
+inline unsigned __int128 orderBits(const void* event) {
+  unsigned __int128 k;
+  std::memcpy(&k, event, sizeof(k));
+  return k;
+}
+
+inline unsigned popcount64(std::uint64_t w) {
+  return static_cast<unsigned>(__builtin_popcountll(w));
+}
+
+}  // namespace
+
+BatchSim::BatchSim(const CompiledDesign& design, const SimOptions& options)
+    : design_(&design), opts_(options) {
+  if (design.numGates >= (1u << 24)) {
+    throw std::invalid_argument(
+        "BatchSim: design exceeds the packed-event net capacity (2^24 "
+        "gates); use the reference EventSim engine");
+  }
+  // Calendar tuning from the lowering: bucket width tracks the smallest
+  // gate delay (so consecutive wavefronts usually land in distinct
+  // buckets) and the bucket array is pre-sized to the worst-case combina-
+  // tional horizon maxDelayPs x numLevels. Pure performance knobs — the
+  // pop order is width-independent.
+  const double w =
+      design.minDelayPs > 0.0
+          ? std::clamp(design.minDelayPs * 0.5, 0.125, 8.0)
+          : 0.5;
+  invBucketWidth_ = 1.0 / w;
+  const double horizonPs = design.maxDelayPs * design.numLevels;
+  const std::size_t horizonBuckets = std::min(
+      static_cast<std::size_t>(horizonPs * invBucketWidth_) + 2, kMaxBuckets);
+  buckets_.resize(horizonBuckets);
+  bucketHead_.assign(horizonBuckets, 0);
+  bucketSorted_.assign(horizonBuckets, 0);
+
+  const std::size_t n = design.numGates;
+  stateW_.assign(n, 0);
+  pendMask_.assign(n, 0);
+  pendValueW_.assign(n, 0);
+  pendPushId_.assign(n * kLanes, 0);
+  lastCommit_.assign(n * kLanes, CommitStamp{0.0, 0});
+  inputWords_.assign(design.inputNets.size(), 0);
+}
+
+BatchSim BatchSim::clone() const {
+  // Shares the design tables and the metrics attachment (same registry
+  // cells), starts from fresh dynamic state and zeroed lane stats.
+  BatchSim copy = *this;
+  copy.reset();
+  return copy;
+}
+
+void BatchSim::reset() {
+  std::fill(stateW_.begin(), stateW_.end(), 0);
+  std::fill(pendMask_.begin(), pendMask_.end(), 0);
+  // lastCommit_ needs no fill: slots are valid only where their epoch
+  // matches runEpoch_, and runEpoch_ is bumped at every run.
+  scrubQueue();
+  pushCounter_ = 0;
+  activeLanes_ = 0;
+  activeMask_ = 0;
+  divergedLane_ = -1;
+  for (auto& log : laneLog_) log.clear();
+  laneStats_.fill(SimStats{});
+}
+
+void BatchSim::scrubQueue() {
+  for (std::uint32_t b : dirtyBuckets_) {
+    buckets_[b].clear();
+    bucketHead_[b] = 0;
+    bucketSorted_[b] = 0;
+  }
+  dirtyBuckets_.clear();
+  bucketCursor_ = 0;
+  eventsInQueue_ = 0;
+}
+
+void BatchSim::attachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    metrics_ = MetricHandles{};
+    return;
+  }
+  metrics_.runs = registry->counter("sim.batch.runs");
+  metrics_.batches = registry->counter("sim.batch.batches");
+  metrics_.events = registry->counter("sim.batch.events_processed");
+  metrics_.committed = registry->counter("sim.batch.transitions_committed");
+  metrics_.cancelled = registry->counter("sim.batch.events_cancelled");
+  metrics_.inertialFiltered =
+      registry->counter("sim.batch.glitches_inertial_filtered");
+  // The fused path replaces PowerModel::sample, so it feeds the *same*
+  // "power.*" cells — trace/pulse tallies stay engine-agnostic.
+  metrics_.tracesSampled = registry->counter("power.traces_sampled");
+  metrics_.pulsesDeposited = registry->counter("power.pulses_deposited");
+  metrics_.peakQueueDepth = registry->gauge("sim.batch.peak_queue_depth");
+  metrics_.watchdogMaxEventsUsed =
+      registry->gauge("sim.batch.watchdog_max_events_used");
+  metrics_.watchdogBudget = registry->gauge("sim.batch.watchdog_budget");
+  if (opts_.maxEvents != 0) {
+    metrics_.watchdogBudget.set(static_cast<double>(opts_.maxEvents));
+  }
+}
+
+/// Folds the per-lane run tallies into each lane's cumulative SimStats —
+/// the per-lane twin of the scalar engines' recordRun, same formulas —
+/// and flushes batch-level aggregates to the attached registry. Called at
+/// quiescence and right before a SimDiverged throw (after which only the
+/// diverged lane's stats are contractually meaningful).
+void BatchSim::recordRun() {
+  if (fastTallies_) {
+    // The no-watchdog fast path tallied per-lane events bit-sliced;
+    // materialize the per-lane counters the fold below expects.
+    for (std::uint64_t m = activeMask_; m != 0; m &= m - 1) {
+      const std::uint32_t l = static_cast<std::uint32_t>(ctz64(m));
+      poppedL_[l] = poppedBS_.laneCount(l);
+      committedL_[l] = committedBS_.laneCount(l);
+      cancelledL_[l] = cancelledBS_.laneCount(l);
+      filteredL_[l] = filteredBS_.laneCount(l);
+    }
+  }
+  std::uint64_t sumPopped = 0, sumCommitted = 0, sumCancelled = 0,
+                sumFiltered = 0;
+  std::uint64_t maxPopped = 0, maxPeak = 0;
+  for (std::uint64_t m = activeMask_; m != 0; m &= m - 1) {
+    const int l = ctz64(m);
+    SimStats& s = laneStats_[static_cast<std::size_t>(l)];
+    const std::uint64_t popped = poppedL_[static_cast<std::size_t>(l)];
+    s.runs += 1;
+    s.eventsProcessed += popped;
+    s.committedTransitions += committedL_[static_cast<std::size_t>(l)];
+    s.cancelledEvents += cancelledL_[static_cast<std::size_t>(l)];
+    s.inertialFiltered += filteredL_[static_cast<std::size_t>(l)];
+    const std::uint64_t peak = peakL_[static_cast<std::size_t>(l)];
+    if (peak > s.peakQueueDepth) s.peakQueueDepth = peak;
+    if (opts_.maxEvents != 0 && popped <= opts_.maxEvents) {
+      const std::uint64_t headroom = opts_.maxEvents - popped;
+      if (headroom < s.watchdogMinHeadroom) s.watchdogMinHeadroom = headroom;
+    }
+    sumPopped += popped;
+    sumCommitted += committedL_[static_cast<std::size_t>(l)];
+    sumCancelled += cancelledL_[static_cast<std::size_t>(l)];
+    sumFiltered += filteredL_[static_cast<std::size_t>(l)];
+    maxPopped = std::max(maxPopped, popped);
+    maxPeak = std::max(maxPeak, peak);
+  }
+  metrics_.batches.add(1);
+  metrics_.runs.add(popcount64(activeMask_));
+  metrics_.events.add(sumPopped);
+  metrics_.committed.add(sumCommitted);
+  metrics_.cancelled.add(sumCancelled);
+  metrics_.inertialFiltered.add(sumFiltered);
+  metrics_.peakQueueDepth.recordMax(static_cast<double>(maxPeak));
+  if (opts_.maxEvents != 0) {
+    metrics_.watchdogMaxEventsUsed.recordMax(static_cast<double>(maxPopped));
+  }
+}
+
+void BatchSim::packInputWords(
+    const std::vector<std::vector<std::uint8_t>>& laneInputs) {
+  const CompiledDesign& d = *design_;
+  const std::size_t lanes = laneInputs.size();
+  if (lanes == 0 || lanes > kLanes) {
+    throw std::invalid_argument(
+        "BatchSim: lane count must be between 1 and 64");
+  }
+  for (const auto& one : laneInputs) {
+    if (one.size() != d.inputNets.size()) {
+      throw std::invalid_argument("wrong number of input values");
+    }
+  }
+  std::fill(inputWords_.begin(), inputWords_.end(), 0);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::uint8_t* in = laneInputs[l].data();
+    for (std::size_t i = 0; i < inputWords_.size(); ++i) {
+      inputWords_[i] |= std::uint64_t(in[i] & 1u) << l;
+    }
+  }
+}
+
+void BatchSim::settle(
+    const std::vector<std::vector<std::uint8_t>>& laneInputs) {
+  const CompiledDesign& d = *design_;
+  packInputWords(laneInputs);
+  activeLanes_ = static_cast<std::uint32_t>(laneInputs.size());
+  activeMask_ = activeLanes_ == kLanes
+                    ? ~std::uint64_t(0)
+                    : (std::uint64_t(1) << activeLanes_) - 1;
+  // Word-parallel twin of CompiledSim::settle: assign the packed inputs,
+  // then one blanket re-evaluation pass in index (== topological) order.
+  // Input gates carry identity truth tables over their own state, so the
+  // pass needs no per-gate type branch; lanes above activeLanes_ settle on
+  // all-zero stimuli and are masked out of every observable.
+  std::fill(stateW_.begin(), stateW_.end(), 0);
+  for (std::size_t i = 0; i < d.inputNets.size(); ++i) {
+    stateW_[d.inputNets[i]] = inputWords_[i];
+  }
+  const std::uint32_t* faninArr = d.fanin.data();
+  const std::uint16_t* ttArr = d.truthTable.data();
+  std::uint64_t* stateW = stateW_.data();
+  for (std::uint32_t id = 0; id < d.numGates; ++id) {
+    stateW[id] = evalTable64(faninArr + std::size_t(id) * kMaxFanin,
+                             ttArr[id], stateW);
+  }
+  std::fill(pendMask_.begin(), pendMask_.end(), 0);
+}
+
+std::vector<std::uint8_t> BatchSim::outputValues(std::uint32_t lane) const {
+  const CompiledDesign& d = *design_;
+  std::vector<std::uint8_t> out(d.outputNets.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] =
+        static_cast<std::uint8_t>((stateW_[d.outputNets[i]] >> lane) & 1u);
+  }
+  return out;
+}
+
+void BatchSim::queuePush(double time, std::uint64_t key, std::uint64_t mask,
+                         std::uint64_t value) {
+  std::size_t idx = static_cast<std::size_t>(time * invBucketWidth_);
+  if (idx >= kMaxBuckets) idx = kMaxBuckets - 1;  // open-ended last bucket
+  if (idx >= buckets_.size()) {
+    const std::size_t grow = std::max(idx + 1, buckets_.size() * 2);
+    buckets_.resize(std::min(grow, kMaxBuckets));
+    bucketHead_.resize(buckets_.size(), 0);
+    bucketSorted_.resize(buckets_.size(), 0);
+  }
+  std::vector<QueueEvent>& b = buckets_[idx];
+  if (b.empty()) dirtyBuckets_.push_back(static_cast<std::uint32_t>(idx));
+  const QueueEvent e{key, timeToBits(time), mask, value};
+  b.push_back(e);
+  if (bucketSorted_[idx]) {
+    // Rare: an arrival into the bucket currently being drained. Sorted
+    // insert into the unpopped tail (entries before bucketHead_ stay put).
+    const std::size_t head = bucketHead_[idx];
+    const unsigned __int128 ord = orderBits(&e);
+    std::size_t j = b.size() - 1;
+    while (j > head && ord < orderBits(&b[j - 1])) {
+      b[j] = b[j - 1];
+      --j;
+    }
+    b[j] = e;
+  }
+  ++eventsInQueue_;
+}
+
+BatchSim::QueueEvent BatchSim::queuePop() {
+  // Caller guarantees eventsInQueue_ > 0; cursor is monotone (arrivals
+  // satisfy eta >= now). Exhausted buckets are scrubbed as the cursor
+  // leaves them — same protocol as CompiledSim::queuePop.
+  for (;;) {
+    std::vector<QueueEvent>& b = buckets_[bucketCursor_];
+    std::uint32_t& head = bucketHead_[bucketCursor_];
+    if (head < b.size()) {
+      if (!bucketSorted_[bucketCursor_]) {
+        std::sort(b.begin(), b.end(),
+                  [](const QueueEvent& a, const QueueEvent& c) {
+                    return orderBits(&a) < orderBits(&c);
+                  });
+        bucketSorted_[bucketCursor_] = 1;
+      }
+      --eventsInQueue_;
+      return b[head++];
+    }
+    if (head != 0) {
+      b.clear();
+      head = 0;
+      bucketSorted_[bucketCursor_] = 0;
+    }
+    ++bucketCursor_;
+  }
+}
+
+template <typename CommitSink>
+void BatchSim::runCore(
+    const std::vector<std::vector<std::uint8_t>>& laneInputs,
+    CommitSink&& commit) {
+  const CompiledDesign& d = *design_;
+  if (laneInputs.size() != activeLanes_) {
+    throw std::invalid_argument(
+        "BatchSim: run lane count does not match the settled lane count");
+  }
+  packInputWords(laneInputs);
+
+  dirtyBuckets_.clear();
+  bucketCursor_ = 0;
+  eventsInQueue_ = 0;
+  // Push ids only order waves *within* one run (the queue is empty and
+  // every pending slot clear at quiescence), so rebasing per run keeps the
+  // counter far inside the 39 packed bits.
+  pushCounter_ = 0;
+  divergedLane_ = -1;
+
+  poppedL_.fill(0);
+  committedL_.fill(0);
+  cancelledL_.fill(0);
+  filteredL_.fill(0);
+  depthL_.fill(0);
+  peakL_.fill(0);
+
+  // lastCommit_ slots are valid only where they carry this run's epoch;
+  // bumping it invalidates every slot in O(1) instead of refilling
+  // numGates x 64 stamps per run (a 64-bit epoch never wraps). A stale
+  // slot reads as "never committed" (weight 1.0), exactly what the scalar
+  // engines' -1e30 sentinel encodes.
+  ++runEpoch_;
+  // With no watchdog armed (the acquisition default) per-lane event
+  // tallies move to bit-sliced vertical counters (a few word ops per wave
+  // instead of a loop over set lanes) and peak-depth sampling moves to the
+  // push side — provably the same maximum for runs that drain the queue.
+  // An armed watchdog keeps the exact scalar pop-order accounting so
+  // SimDiverged payloads stay bit-identical.
+  const bool watchdogArmed = opts_.maxEvents != 0 || opts_.maxTimePs > 0.0;
+  fastTallies_ = !watchdogArmed;
+  if (fastTallies_) {
+    poppedBS_.clear();
+    committedBS_.clear();
+    cancelledBS_.clear();
+    filteredBS_.clear();
+  }
+
+  const std::uint8_t* typeArr = d.type.data();
+  const std::uint32_t* faninArr = d.fanin.data();
+  const std::uint16_t* ttArr = d.truthTable.data();
+  const std::uint32_t* foOff = d.fanoutOffsets.data();
+  const std::uint32_t* foEdge = d.fanoutEdges.data();
+  const double* delayArr = d.delayPs.data();
+  std::uint64_t* stateW = stateW_.data();
+  CommitStamp* lastCommit = lastCommit_.data();
+
+  // Depth bookkeeping for one pushed wave. Fast path: the peak sample
+  // moves here (push side) — a drained queue reaches the same maximum at
+  // pushes as the scalar pop-side sample, see the pop loop comment. Armed
+  // path: pop-side sampling keeps SimDiverged payloads exact, so only the
+  // increment happens here. Push masks average ~1-2 set lanes on real
+  // workloads, so a scalar loop beats bit-sliced planes here.
+  const auto pushDepth = [&](std::uint64_t pushM) {
+    for (std::uint64_t m = pushM; m != 0; m &= m - 1) {
+      const std::size_t l = static_cast<std::size_t>(ctz64(m));
+      const std::uint64_t dNew = ++depthL_[l];
+      if (fastTallies_ && dNew > peakL_[l]) peakL_[l] = dNew;
+    }
+  };
+
+  // Word-parallel twin of the reference scheduleGate: evaluates the gate
+  // over all lanes at once, then splits the triggering lane set `trig`
+  // into the reference algorithm's branch sets with word ops. At most one
+  // wave is pushed per call, covering every lane that scalar semantics
+  // would have pushed for.
+  const auto scheduleGate = [&](std::uint32_t gateId, double now,
+                                std::uint64_t trig) {
+    if (isSourceGate(static_cast<GateType>(typeArr[gateId]))) return;
+    const std::uint64_t nvW = evalTable64(
+        faninArr + std::size_t(gateId) * kMaxFanin, ttArr[gateId], stateW);
+    const double eta = now + delayArr[gateId];
+
+    std::uint64_t pushM;
+    std::uint64_t pushV;
+    if (opts_.kind == DelayKind::Transport) {
+      // Transport delay: every triggered lane gets an independent
+      // in-flight wavefront; no-op events are filtered at commit time.
+      pushM = trig;
+      pushV = nvW & trig;
+    } else {
+      // Inertial delay: at most one pending event per (net, lane).
+      const std::uint64_t pend = pendMask_[gateId];
+      const std::uint64_t diffPend = pendValueW_[gateId] ^ nvW;
+      const std::uint64_t diffState = stateW[gateId] ^ nvW;
+      // Pending with the same scheduled value: earlier event stands.
+      // Pending with a different value that equals the committed state:
+      // input pulse shorter than the gate delay — swallow the glitch.
+      const std::uint64_t swallow = trig & pend & diffPend & ~diffState;
+      // Pending superseded by a new value (re-push) or no pending and a
+      // real change (fresh push).
+      pushM = (trig & pend & diffPend & diffState) | (trig & ~pend & diffState);
+      pushV = nvW & pushM;
+      pendMask_[gateId] = (pend & ~swallow) | pushM;
+      pendValueW_[gateId] = (pendValueW_[gateId] & ~pushM) | pushV;
+      if (fastTallies_) {
+        filteredBS_.add(swallow);
+      } else {
+        for (std::uint64_t m = swallow; m != 0; m &= m - 1) {
+          ++filteredL_[static_cast<std::size_t>(ctz64(m))];
+        }
+      }
+      if (pushM == 0) return;
+      const std::uint64_t id = ++pushCounter_;
+      std::uint64_t* pendId = pendPushId_.data() + std::size_t(gateId) * kLanes;
+      for (std::uint64_t m = pushM; m != 0; m &= m - 1) {
+        pendId[ctz64(m)] = id;
+      }
+      pushDepth(pushM);
+      queuePush(eta, (id << 25) | (std::uint64_t(gateId) << 1), pushM, pushV);
+      return;
+    }
+    const std::uint64_t id = ++pushCounter_;
+    pushDepth(pushM);
+    queuePush(eta, (id << 25) | (std::uint64_t(gateId) << 1), pushM, pushV);
+  };
+
+  // Diverging exit: one lane's watchdog fired while processing wave lanes
+  // in ascending order (the lowest tripping lane wins). Mirrors the scalar
+  // engines: scrub, record, throw with that lane's scalar payload. The
+  // other lanes stopped mid-flight — only the diverged lane's stats are
+  // contractually meaningful afterwards.
+  const auto diverge = [&](int lane, double eTime) {
+    scrubQueue();
+    recordRun();
+    divergedLane_ = lane;
+    throw SimDiverged(poppedL_[static_cast<std::size_t>(lane)], eTime);
+  };
+
+  // Input changes are applied simultaneously at t = 0 and committed
+  // directly (primary inputs have no driver gate and no inertia); a stuck
+  // (overlaid) input ignores stimulus. The commit/fanout split mirrors the
+  // reference: all input commits first, then the fanout walks in the same
+  // net order.
+  changedNets_.clear();
+  changedMasks_.clear();
+  for (std::size_t i = 0; i < d.inputNets.size(); ++i) {
+    if (!d.inputLive[i]) continue;
+    const std::uint32_t net = d.inputNets[i];
+    const std::uint64_t nvW = inputWords_[i];
+    const std::uint64_t cm = (stateW[net] ^ nvW) & activeMask_;
+    if (cm == 0) continue;
+    stateW[net] = (stateW[net] & ~cm) | (nvW & cm);
+    CommitStamp* lc = lastCommit + std::size_t(net) * kLanes;
+    for (std::uint64_t m = cm; m != 0; m &= m - 1) {
+      const int l = ctz64(m);
+      lc[l] = CommitStamp{0.0, runEpoch_};
+      weightL_[static_cast<std::size_t>(l)] = 1.0;
+    }
+    if (fastTallies_) {
+      committedBS_.add(cm);
+    } else {
+      for (std::uint64_t m = cm; m != 0; m &= m - 1) {
+        ++committedL_[static_cast<std::size_t>(ctz64(m))];
+      }
+    }
+    commit(net, 0.0, cm, nvW);
+    changedNets_.push_back(net);
+    changedMasks_.push_back(cm);
+  }
+  for (std::size_t c = 0; c < changedNets_.size(); ++c) {
+    const std::uint32_t net = changedNets_[c];
+    const std::uint64_t cm = changedMasks_[c];
+    for (std::uint32_t e = foOff[net]; e < foOff[net + 1]; ++e) {
+      scheduleGate(foEdge[e], 0.0, cm);
+    }
+  }
+
+  while (eventsInQueue_ != 0) {
+    const QueueEvent e = queuePop();
+    const double eTime = bitsToTime(e.timeBits);
+    const std::uint32_t eNet =
+        static_cast<std::uint32_t>(e.key >> 1) & 0xFFFFFFu;
+    const std::uint64_t ePushId = e.key >> 25;
+
+    // Per-lane pop accounting. Armed path: the reference order — peak-
+    // depth check *before* the pop, then the popped counter, then the two
+    // watchdog checks — so per lane the tallies and any SimDiverged
+    // payload are exactly what that lane's scalar run would produce. Fast
+    // path: the popped tally is one bit-sliced add and the peak sample
+    // lives on the push side (a push to its maximum depth is always
+    // followed by a pop at that depth before the lane's next push, so the
+    // two maxima coincide when the queue drains — which the no-watchdog
+    // path guarantees); only the depth decrement remains per lane.
+    if (watchdogArmed) {
+      for (std::uint64_t m = e.mask; m != 0; m &= m - 1) {
+        const std::size_t l = static_cast<std::size_t>(ctz64(m));
+        if (depthL_[l] > peakL_[l]) peakL_[l] = depthL_[l];
+        --depthL_[l];
+        ++poppedL_[l];
+        if (opts_.maxEvents != 0 && poppedL_[l] > opts_.maxEvents) {
+          diverge(static_cast<int>(l), eTime);
+        }
+        if (opts_.maxTimePs > 0.0 && eTime > opts_.maxTimePs) {
+          diverge(static_cast<int>(l), eTime);
+        }
+      }
+    } else {
+      poppedBS_.add(e.mask);
+      for (std::uint64_t m = e.mask; m != 0; m &= m - 1) {
+        --depthL_[static_cast<std::size_t>(ctz64(m))];
+      }
+    }
+
+    // Validity and no-op filtering, word-parallel. Inertial: a lane's wave
+    // is live iff its pending slot still points at this push id; live
+    // lanes clear their pending bit (before the no-op check, like the
+    // reference). Then any lane whose committed state already equals the
+    // scheduled value cancels.
+    std::uint64_t commitM;
+    if (opts_.kind == DelayKind::Inertial) {
+      std::uint64_t liveM = 0;
+      const std::uint64_t pend = pendMask_[eNet] & e.mask;
+      const std::uint64_t* pendId =
+          pendPushId_.data() + std::size_t(eNet) * kLanes;
+      for (std::uint64_t m = pend; m != 0; m &= m - 1) {
+        const int l = ctz64(m);
+        if (pendId[l] == ePushId) liveM |= std::uint64_t(1) << l;
+      }
+      pendMask_[eNet] &= ~liveM;
+      commitM = liveM & (stateW[eNet] ^ e.value);
+    } else {
+      commitM = e.mask & (stateW[eNet] ^ e.value);
+    }
+    if (fastTallies_) {
+      cancelledBS_.add(e.mask & ~commitM);
+    } else {
+      for (std::uint64_t m = e.mask & ~commitM; m != 0; m &= m - 1) {
+        ++cancelledL_[static_cast<std::size_t>(ctz64(m))];
+      }
+    }
+    if (commitM == 0) continue;
+
+    stateW[eNet] = (stateW[eNet] & ~commitM) | (e.value & commitM);
+    // Partial-swing weighting per lane, the reference expression shapes
+    // verbatim (the gap is lane-local, the swing window design-global).
+    // A stale lastCommit slot (epoch mismatch) means no commit yet this
+    // run: gap >= swingPs for any reachable eTime, so weight stays 1.0 —
+    // same result the -1e30 sentinel produced.
+    const double swingPs = opts_.fullSwingFactor * delayArr[eNet];
+    CommitStamp* lc = lastCommit + std::size_t(eNet) * kLanes;
+    for (std::uint64_t m = commitM; m != 0; m &= m - 1) {
+      const std::size_t l = static_cast<std::size_t>(ctz64(m));
+      double weight = 1.0;
+      if (swingPs > 0.0 && lc[l].epoch == runEpoch_) {
+        const double gap = eTime - lc[l].ps;
+        if (gap < swingPs) weight = gap / swingPs;
+      }
+      lc[l] = CommitStamp{eTime, runEpoch_};
+      weightL_[l] = weight;
+    }
+    if (fastTallies_) {
+      committedBS_.add(commitM);
+    } else {
+      for (std::uint64_t m = commitM; m != 0; m &= m - 1) {
+        ++committedL_[static_cast<std::size_t>(ctz64(m))];
+      }
+    }
+    commit(eNet, eTime, commitM, e.value);
+    for (std::uint32_t idx = foOff[eNet]; idx < foOff[eNet + 1]; ++idx) {
+      scheduleGate(foEdge[idx], eTime, commitM);
+    }
+  }
+  if (bucketCursor_ < buckets_.size() && bucketHead_[bucketCursor_] != 0) {
+    buckets_[bucketCursor_].clear();
+    bucketHead_[bucketCursor_] = 0;
+    bucketSorted_[bucketCursor_] = 0;
+  }
+  recordRun();
+}
+
+void BatchSim::run(const std::vector<std::vector<std::uint8_t>>& laneInputs) {
+  for (std::uint32_t l = 0; l < activeLanes_; ++l) laneLog_[l].clear();
+  runCore(laneInputs, [&](std::uint32_t net, double time,
+                          std::uint64_t commitM, std::uint64_t valueW) {
+    for (std::uint64_t m = commitM; m != 0; m &= m - 1) {
+      const std::size_t l = static_cast<std::size_t>(ctz64(m));
+      laneLog_[l].push_back(Transition{
+          time, net, static_cast<std::uint8_t>((valueW >> l) & 1u),
+          weightL_[l]});
+    }
+  });
+}
+
+void BatchSim::runFused(
+    const std::vector<std::vector<std::uint8_t>>& laneInputs,
+    const std::vector<std::uint64_t>& noiseSeeds) {
+  const CompiledDesign& d = *design_;
+  if (noiseSeeds.size() != laneInputs.size()) {
+    throw std::invalid_argument(
+        "BatchSim: one noise seed per lane required");
+  }
+  // Deposition runs sample-major (all lanes of one bin contiguous) so the
+  // per-commit inner loop touches one cache line per bin; lane traces are
+  // transposed out afterwards. Per lane and bin, the accumulation order is
+  // the lane's commit order — the scalar engines' order — and the FP
+  // expressions are the shared power_detail helpers, so each lane's trace
+  // is bit-identical to PowerModel::sample over that lane's run.
+  grid_.assign(std::size_t(d.numSamples) * kLanes, 0.0);
+  laneTraces_.resize(std::size_t(d.numSamples) * kLanes);
+  const double dt = d.samplePeriodPs;
+  const double halfW = d.pulseHalfWidthPs;
+  std::uint64_t deposited = 0;
+  runCore(laneInputs, [&](std::uint32_t net, double time,
+                          std::uint64_t commitM, std::uint64_t) {
+    int k0 = 0;
+    int k1 = -1;
+    if (power_detail::pulseBinRange(d.numSamples, dt, halfW, time, k0, k1)) {
+      deposited += popcount64(commitM);  // pulse overlaps the window
+    }
+    const double e0 = d.energyFf[net];
+    for (std::uint64_t m = commitM; m != 0; m &= m - 1) {
+      const std::size_t l = static_cast<std::size_t>(ctz64(m));
+      energyL_[l] = e0 * weightL_[l];
+    }
+    for (int k = k0; k <= k1; ++k) {
+      const double frac = power_detail::pulseBinFraction(dt, halfW, time, k);
+      if (frac > 0.0) {
+        double* row = grid_.data() + std::size_t(k) * kLanes;
+        for (std::uint64_t m = commitM; m != 0; m &= m - 1) {
+          const std::size_t l = static_cast<std::size_t>(ctz64(m));
+          row[l] += energyL_[l] * frac;
+        }
+      }
+    }
+  });
+  for (std::uint32_t l = 0; l < activeLanes_; ++l) {
+    double* out = laneTraces_.data() + std::size_t(l) * d.numSamples;
+    for (std::uint32_t k = 0; k < d.numSamples; ++k) {
+      out[k] = grid_[std::size_t(k) * kLanes + l];
+    }
+    power_detail::addGaussianNoise(out, d.numSamples, d.noiseSigma,
+                                   noiseSeeds[l]);
+  }
+  metrics_.tracesSampled.add(activeLanes_);
+  metrics_.pulsesDeposited.add(deposited);
+}
+
+}  // namespace lpa

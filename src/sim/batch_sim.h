@@ -1,0 +1,315 @@
+#pragma once
+// Bit-parallel batch simulation engine: 64 traces per gate operation.
+//
+// BatchSim packs the net values of up to kLanes = 64 independent traces
+// ("lanes") into one std::uint64_t word per net (bit l = lane l's value)
+// and runs the exact event-driven algorithm of the reference EventSim
+// (sim/event_sim.h) word-parallel over the flat tables of a CompiledDesign.
+// Gate evaluation becomes a handful of bitwise ops producing all 64 lanes
+// at once (see evalTable64 in batch_sim.cpp), and lanes whose waveforms
+// coincide share queue entries, so the per-trace event cost drops by up to
+// the cluster factor of the stimulus set.
+//
+// ## Lane-masked event waves
+//
+// The design target in ISSUE 6 sketches quantizing event times onto the
+// 50 GS/s sample grid with a levelized per-time-step sweep. A literal grid
+// quantization would *break* the engines' bit-identity contract: arrival
+// times are continuous (jittered per-gate delays), and both the partial-
+// swing weight (gap / swingPs) and the pulse-deposition arithmetic consume
+// exact times. BatchSim therefore keeps event times exact and uses the
+// grid idea only where it is harmless — the calendar queue's bucket index
+// orders events without ever rounding their committed times, and the
+// CompiledDesign levelization (numLevels, min/maxDelayPs) sizes the
+// calendar's bucket width and horizon. Glitch semantics are untouched:
+// arrival-time races reproduce lane-by-lane exactly as in the scalar
+// engines.
+//
+// Each queue entry is one "wave": a (time, net, lane-mask, lane-values)
+// tuple covering every lane for which one scheduleGate call produced an
+// event. Per lane, the engine behaves exactly like a private scalar
+// EventSim:
+//
+//   * scheduling splits the triggering lane set with word ops into the
+//     reference algorithm's branch sets (transport push; inertial
+//     same-value no-op / glitch swallow / superseding re-push / fresh
+//     push) and pushes at most one wave per call;
+//   * a popped wave is processed lane-ascending: per-lane watchdog
+//     accounting first (mirroring the reference pop/budget order), then
+//     word-parallel validity + no-op filtering, then the commit with the
+//     reference partial-swing weight expressions per lane.
+//
+// ## Ordering (why no tie-break waiver is needed)
+//
+// The queue pops waves by (timeBits, pushId) where pushId increments once
+// per push call. Restricted to the entries covering one lane l, push-call
+// order equals lane l's scalar push order (both are the same traversal:
+// input order, then committed-event fanout walks in CSR edge order, and a
+// wave covers l only if it was triggered by an l-commit), and pushId is
+// monotone in call order. So for any two same-time waves covering l, the
+// pushId order equals the scalar per-lane (time, seq) order — the batch
+// engine realizes every lane's reference pop order *exactly*, with no
+// tie-break waiver. The same argument orders each lane's pulse deposition
+// (and hence the FP accumulation order into every sample bin) identically
+// to the scalar engines.
+//
+// ## Bit-identity contract
+//
+// For every lane l < activeLanes(), BatchSim is bit-identical to an
+// EventSim/CompiledSim fed lane l's stimuli on the same design:
+//   * identical committed values / outputs after settle()/run();
+//   * identical per-lane Transition lists (time, net, value, weight);
+//   * runFused() lane traces equal PowerModel::sample(run(...), seed);
+//   * identical per-lane SimStats tallies (laneStats());
+//   * identical SimDiverged payload for the diverged lane (divergedLane());
+//     after a throw only that lane's stats are contractually meaningful —
+//     the other lanes stopped mid-flight. Call settle() before reuse.
+// tests/test_batch_sim.cpp and the differential fuzzer
+// (tests/test_engine_fuzz.cpp) enforce the contract.
+//
+// ## Eligibility
+//
+// Same design-level eligibility as CompiledSim (no fault overlay, matching
+// power model, < 2^24 gates; acquisition's resolveEngine enforces this);
+// any active lane count 1..64 is supported, so partial trailing groups of
+// a trace budget need no special casing. Instrumentation lands in
+// "sim.batch.*" (and the shared "power.*") instruments.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/compiled_design.h"
+#include "sim/event_sim.h"
+
+namespace lpa {
+
+class BatchSim {
+ public:
+  /// Lane capacity of one batch: the word width of the packed net values.
+  static constexpr std::uint32_t kLanes = 64;
+
+  /// `design` must outlive the sim and stay unmodified while any clone is
+  /// running (the CompiledSim sharing contract). Throws
+  /// std::invalid_argument for designs beyond the packed-event net
+  /// capacity (2^24 gates).
+  BatchSim(const CompiledDesign& design, const SimOptions& options);
+
+  /// Cheap copy for worker pools: shares the design tables and the metrics
+  /// attachment, starts from fresh dynamic state and zeroed stats.
+  BatchSim clone() const;
+
+  /// Clears dynamic state as if freshly constructed (arenas keep their
+  /// capacity — reset does not give memory back).
+  void reset();
+
+  /// Establishes a steady state: lane l settles on laneInputs[l]
+  /// (inputs() order). 1..kLanes lanes; sets activeLanes() for the
+  /// following run()/runFused() calls.
+  void settle(const std::vector<std::vector<std::uint8_t>>& laneInputs);
+
+  /// Recorded-transitions mode: applies lane l's new inputs at t = 0,
+  /// simulates all lanes to quiescence, and fills the per-lane transition
+  /// logs (laneTransitions()) — each bit-identical to EventSim::run on
+  /// that lane's stimuli. laneInputs.size() must equal activeLanes().
+  void run(const std::vector<std::vector<std::uint8_t>>& laneInputs);
+
+  /// Fused fast path: simulates all lanes to quiescence depositing every
+  /// committed pulse straight onto each lane's sample grid, then adds
+  /// per-lane measurement noise (noiseSeeds[l], the PowerModel::sample
+  /// convention). Lane traces are read via laneTrace() and stay valid
+  /// until the next run/runFused/reset on this instance.
+  void runFused(const std::vector<std::vector<std::uint8_t>>& laneInputs,
+                const std::vector<std::uint64_t>& noiseSeeds);
+
+  /// Lanes configured by the last settle().
+  std::uint32_t activeLanes() const { return activeLanes_; }
+
+  /// Current committed value of a net in one lane.
+  std::uint8_t value(NetId net, std::uint32_t lane) const {
+    return static_cast<std::uint8_t>((stateW_[net] >> lane) & 1u);
+  }
+
+  /// Values of lane `lane`'s primary outputs in outputs() order.
+  std::vector<std::uint8_t> outputValues(std::uint32_t lane) const;
+
+  /// Lane `lane`'s transition log from the last run().
+  const std::vector<Transition>& laneTransitions(std::uint32_t lane) const {
+    return laneLog_[lane];
+  }
+
+  /// Lane `lane`'s power trace from the last runFused(): numSamples
+  /// doubles, bit-identical to the scalar engines' trace for that lane.
+  const double* laneTrace(std::uint32_t lane) const {
+    return laneTraces_.data() +
+           static_cast<std::size_t>(lane) * design_->numSamples;
+  }
+
+  /// Lane-local cumulative instrumentation, field-for-field comparable
+  /// with EventSim::stats() for that lane's stimuli.
+  const SimStats& laneStats(std::uint32_t lane) const {
+    return laneStats_[lane];
+  }
+
+  /// Lane whose watchdog budget fired the last SimDiverged throw (-1 if
+  /// the last run converged). On simultaneous trips the lowest lane wins.
+  int divergedLane() const { return divergedLane_; }
+
+  /// Routes "sim.batch.*" and the shared "power.*" instruments into
+  /// `registry` (nullptr detaches). Clones inherit the attachment; the
+  /// zero-perturbation contract of obs/metrics.h applies.
+  void attachMetrics(obs::MetricsRegistry* registry);
+
+  const CompiledDesign& design() const { return *design_; }
+  const SimOptions& options() const { return opts_; }
+
+ private:
+  /// Packed 32-byte wave. `timeBits` is the raw IEEE-754 pattern of the
+  /// (non-negative) arrival time — unsigned pattern comparison equals
+  /// numeric comparison — and `key` packs (pushId << 25) | (net << 1) with
+  /// the per-run push counter in the high bits, so comparing
+  /// (timeBits, key) realizes every lane's reference (time, seq) order
+  /// (see "Ordering" above). `mask` is the covered-lane set; `value` holds
+  /// the scheduled lane values on the mask bits.
+  ///
+  /// Field order is load-bearing for the queue: `key` in the low quadword
+  /// and `timeBits` in the high quadword make the first 16 bytes, read as
+  /// one little-endian unsigned 128-bit integer, equal to
+  /// (timeBits << 64) | key — so the calendar's pop order is a single
+  /// branchless wide compare instead of a two-field comparator (the
+  /// per-bucket sorts dominate queue cost on glitchy transport workloads).
+  struct QueueEvent {
+    std::uint64_t key;
+    std::uint64_t timeBits;
+    std::uint64_t mask;
+    std::uint64_t value;
+  };
+
+  /// Monotone calendar queue over (time, pushId), structurally identical
+  /// to CompiledSim's (see sim/compiled_sim.h for the full invariants):
+  /// unsorted O(1) pushes, lazy per-bucket sort at first drain, sorted
+  /// insert into the draining bucket's unpopped tail, eager scrub as the
+  /// cursor leaves a bucket. The bucket width and the pre-sized horizon
+  /// are derived from the design's delay extrema and level count
+  /// (CompiledDesign::minDelayPs / maxDelayPs / numLevels) instead of a
+  /// fixed constant — bucketing only groups events, it never reorders
+  /// them, so the width is a pure tuning knob.
+  static constexpr std::size_t kMaxBuckets = std::size_t(1) << 20;
+
+  /// Bit-sliced per-lane event tally: lane l's count lives vertically in
+  /// bit l of the binary-weighted planes, so tallying a whole wave costs
+  /// an amortized ~2 word operations (carry-save add of its lane mask)
+  /// instead of a loop over set lanes. Used by the no-watchdog fast path
+  /// of runCore; extracted per lane once per run in recordRun. Capacity is
+  /// 2^kPlanes - 1 events per lane per run — far above any physical run
+  /// (the watchdog-armed path keeps exact uint64 counters).
+  struct LaneTallyPlanes {
+    static constexpr std::size_t kPlanes = 32;
+    std::array<std::uint64_t, kPlanes> plane{};
+    std::size_t hi = 0;  ///< planes touched since clear()
+    void clear() {
+      std::fill(plane.begin(), plane.begin() + hi, 0);
+      hi = 0;
+    }
+    void add(std::uint64_t mask) {
+      std::uint64_t carry = mask;
+      std::size_t i = 0;
+      while (carry != 0 && i < kPlanes) {
+        const std::uint64_t t = plane[i] & carry;
+        plane[i] ^= carry;
+        carry = t;
+        ++i;
+      }
+      if (i > hi) hi = i;
+    }
+    std::uint64_t laneCount(std::uint32_t l) const {
+      std::uint64_t v = 0;
+      for (std::size_t i = 0; i < hi; ++i) {
+        v |= ((plane[i] >> l) & std::uint64_t(1)) << i;
+      }
+      return v;
+    }
+  };
+
+  template <typename CommitSink>
+  void runCore(const std::vector<std::vector<std::uint8_t>>& laneInputs,
+               CommitSink&& commit);
+  void packInputWords(
+      const std::vector<std::vector<std::uint8_t>>& laneInputs);
+  void recordRun();
+  void queuePush(double time, std::uint64_t key, std::uint64_t mask,
+                 std::uint64_t value);
+  QueueEvent queuePop();
+  void scrubQueue();
+
+  const CompiledDesign* design_;
+  SimOptions opts_;
+  double invBucketWidth_ = 2.0;
+
+  // Reusable arenas (allocation-free after warm-up). Packed words hold
+  // lane l in bit l; per-(net, lane) scalars are flat numGates x kLanes.
+  std::vector<std::uint64_t> stateW_;
+  std::vector<std::uint64_t> pendMask_;    ///< per net: lanes with a pending
+  std::vector<std::uint64_t> pendValueW_;  ///< per net: pending lane values
+  std::vector<std::uint64_t> pendPushId_;  ///< per (net, lane): pending id
+  /// Per-(net, lane) time of the net's previous commit in the current run,
+  /// valid only where `epoch` equals runEpoch_ — the epoch stamp makes
+  /// "no commit yet this run" a lazy default instead of an 8-byte-per-slot
+  /// fill of the whole array on every run (the array is numGates x 64 and
+  /// the hot loop touches only the committing slots). Time and stamp share
+  /// one 16-byte slot so a commit's validity check and gap read cost one
+  /// cache line touch, not two. A stale slot yields weight 1.0 — exactly
+  /// what the scalar engines' -1e30 sentinel produces.
+  struct CommitStamp {
+    double ps;
+    std::uint64_t epoch;
+  };
+  std::vector<CommitStamp> lastCommit_;  ///< per (net, lane)
+  std::uint64_t runEpoch_ = 0;           ///< bumped at every runCore
+  std::vector<std::uint64_t> inputWords_;  ///< packed stimulus per input
+  std::vector<std::uint32_t> changedNets_;
+  std::vector<std::uint64_t> changedMasks_;
+  std::vector<std::vector<QueueEvent>> buckets_;
+  std::vector<std::uint32_t> bucketHead_;
+  std::vector<std::uint8_t> bucketSorted_;
+  std::vector<std::uint32_t> dirtyBuckets_;
+  std::size_t bucketCursor_ = 0;
+  std::size_t eventsInQueue_ = 0;
+  std::uint64_t pushCounter_ = 0;
+
+  // Per-lane run tallies (zeroed per run; the per-lane twins of the scalar
+  // engines' local counters) and scratch shared between pop and sink.
+  std::array<std::uint64_t, kLanes> poppedL_{};
+  std::array<std::uint64_t, kLanes> committedL_{};
+  std::array<std::uint64_t, kLanes> cancelledL_{};
+  std::array<std::uint64_t, kLanes> filteredL_{};
+  std::array<std::uint64_t, kLanes> depthL_{};  ///< lane's in-flight waves
+  std::array<std::uint64_t, kLanes> peakL_{};
+  // Bit-sliced twins of popped/committed/cancelled/filtered, used by the
+  // no-watchdog fast path (fastTallies_) and folded back into the arrays
+  // above by recordRun. Depth/peak stay scalar even on the fast path: push
+  // masks average only one or two set lanes, so per-lane loops win there.
+  LaneTallyPlanes poppedBS_, committedBS_, cancelledBS_, filteredBS_;
+  bool fastTallies_ = false;  ///< last run used the bit-sliced tallies
+  std::array<double, kLanes> weightL_{};  ///< commit weights, sink scratch
+  std::array<double, kLanes> energyL_{};  ///< deposition scratch
+
+  std::uint32_t activeLanes_ = 0;
+  std::uint64_t activeMask_ = 0;
+  int divergedLane_ = -1;
+
+  std::array<std::vector<Transition>, kLanes> laneLog_;
+  std::vector<double> grid_;        ///< deposition scratch, sample-major
+  std::vector<double> laneTraces_;  ///< runFused() results, lane-major
+
+  std::array<SimStats, kLanes> laneStats_{};
+  struct MetricHandles {
+    obs::Counter runs, batches, events, committed, cancelled,
+        inertialFiltered;
+    obs::Counter tracesSampled, pulsesDeposited;
+    obs::Gauge peakQueueDepth, watchdogMaxEventsUsed, watchdogBudget;
+  } metrics_;
+};
+
+}  // namespace lpa

@@ -1,5 +1,6 @@
 #include "sim/compiled_design.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace lpa {
@@ -87,6 +88,20 @@ CompiledDesign::CompiledDesign(const Netlist& nl, const DelayModel& delays,
   }
   outputNets.assign(nl.outputs().begin(), nl.outputs().end());
 
+  // Levelization: fanins always precede their consumers (topological
+  // creation order), so one index-order pass suffices.
+  level.assign(numGates, 0);
+  numLevels = 0;
+  for (NetId id = 0; id < numGates; ++id) {
+    const Gate& g = nl.gate(id);
+    std::uint32_t lv = 0;
+    for (int i = 0; i < g.numFanin; ++i) {
+      lv = std::max(lv, level[g.fanin[static_cast<std::size_t>(i)]] + 1);
+    }
+    level[id] = lv;
+    numLevels = std::max(numLevels, lv + 1);
+  }
+
   const PowerOptions& po = power.options();
   samplePeriodPs = po.samplePeriodPs;
   pulseHalfWidthPs = po.pulseWidthPs * 0.5;
@@ -107,6 +122,22 @@ void CompiledDesign::refresh(const DelayModel& delays,
   energyFf.resize(numGates);
   for (NetId id = 0; id < numGates; ++id) {
     energyFf[id] = power.effectiveCapFf(id);
+  }
+  // Delay extrema over non-source gates (source gates never schedule
+  // events; their snapshot delay is meaningless for queue sizing).
+  minDelayPs = 0.0;
+  maxDelayPs = 0.0;
+  bool any = false;
+  for (NetId id = 0; id < numGates; ++id) {
+    if (isSourceGate(static_cast<GateType>(type[id]))) continue;
+    const double d = delayPs[id];
+    if (!any) {
+      minDelayPs = maxDelayPs = d;
+      any = true;
+    } else {
+      minDelayPs = std::min(minDelayPs, d);
+      maxDelayPs = std::max(maxDelayPs, d);
+    }
   }
 }
 

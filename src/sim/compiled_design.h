@@ -81,9 +81,24 @@ struct CompiledDesign {
   std::vector<std::uint8_t> inputLive;
   std::vector<std::uint32_t> outputNets;     ///< primary outputs, outputs() order
 
+  // -- levelization (batch-engine lowering) --------------------------------
+  /// Topological level per gate: 0 for source gates (inputs/constants),
+  /// otherwise 1 + max(level of fanins). Well-defined because netlists are
+  /// built in topological creation order (net index == gate index, fanins
+  /// precede their consumers). The batch engine (sim/batch_sim.h) uses the
+  /// level count to size its calendar-queue horizon.
+  std::vector<std::uint32_t> level;
+  std::uint32_t numLevels = 0;  ///< max(level) + 1 (0 for an empty netlist)
+
   // -- dynamic model snapshot (refresh() re-fills) ------------------------
   std::vector<double> delayPs;   ///< DelayModel::delayPs per gate
   std::vector<double> energyFf;  ///< PowerModel::effectiveCapFf per gate
+  /// Min/max of delayPs over non-source gates (0 when there are none);
+  /// refresh() keeps them in step with aging. The batch engine derives its
+  /// calendar bucket width (min) and pre-sized horizon (max x numLevels)
+  /// from these.
+  double minDelayPs = 0.0;
+  double maxDelayPs = 0.0;
 
   // -- power sample-grid constants ----------------------------------------
   double samplePeriodPs = 0.0;

@@ -1,5 +1,6 @@
 #include "trace/acquisition.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "crypto/present.h"
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
+#include "sim/batch_sim.h"
 #include "sim/compiled_sim.h"
 #include "stats/adaptive.h"
 #include "trace/sharded_pool.h"
@@ -19,10 +21,14 @@ namespace {
 constexpr std::uint64_t kScheduleStream = ~0ULL;
 
 /// Resolves the requested engine against the design's eligibility for the
-/// compiled fast path. Auto silently falls back to the reference engine;
-/// forcing Compiled on an ineligible design throws.
+/// flat-table fast paths (compiled and batch share the same design-level
+/// eligibility). Auto never throws: an ineligible design falls back to the
+/// reference engine, and below one full lane group the batch engine's
+/// clustering cannot pay off, so Auto serves small budgets with the
+/// compiled scalar path. Forcing Compiled or Batch on an ineligible design
+/// throws; a forced Batch below the lane width runs a partial group.
 SimEngine resolveEngine(SimEngine requested, const EventSim& sim,
-                        const PowerModel& power) {
+                        const PowerModel& power, std::size_t traceCount) {
   const bool eligible = !sim.netlist().hasFaultOverlay() &&
                         power.numGates() == sim.netlist().numGates() &&
                         sim.netlist().numGates() < (std::size_t(1) << 24);
@@ -37,10 +43,20 @@ SimEngine resolveEngine(SimEngine requested, const EventSim& sim,
             "mismatch)");
       }
       return SimEngine::Compiled;
+    case SimEngine::Batch:
+      if (!eligible) {
+        throw std::invalid_argument(
+            "acquisition: batch engine requested but the design is "
+            "ineligible (fault overlay present or power model size "
+            "mismatch)");
+      }
+      return SimEngine::Batch;
     case SimEngine::Auto:
       break;
   }
-  return eligible ? SimEngine::Compiled : SimEngine::Reference;
+  if (!eligible) return SimEngine::Reference;
+  return traceCount >= BatchSim::kLanes ? SimEngine::Batch
+                                        : SimEngine::Compiled;
 }
 
 /// Runs `body(sim, i, shard)` for every trace index in [0, n), sharded over
@@ -91,6 +107,74 @@ TraceSet shardedAcquire(Sim& sim, std::uint32_t numSamples,
   return traces;
 }
 
+/// Batch-engine twin of shardedAcquire: the sharded work item is a *lane
+/// group* of up to BatchSim::kLanes consecutive trace indices, so trace
+/// grouping is a global function of the index — which keeps the result
+/// thread-count invariant (worker shards cover contiguous group ranges and
+/// are concatenated in group order). `body(worker, g, out)` simulates
+/// group g's lanes and appends its traces to `out` in lane order. Progress
+/// stays trace-denominated: the body's groups step the meter by their lane
+/// count (shardedFor contributes the final step of each group).
+template <typename GroupBody, typename Describe>
+TraceSet shardedBatchAcquire(BatchSim& proto, std::uint32_t numSamples,
+                             std::size_t numTraces,
+                             std::uint32_t requestedThreads,
+                             const GroupBody& body, const Describe& describe,
+                             const obs::ProgressFn& progress,
+                             const char* spanLabel) {
+  const std::size_t numGroups =
+      (numTraces + BatchSim::kLanes - 1) / BatchSim::kLanes;
+  const std::uint32_t threads =
+      resolveWorkerThreads(requestedThreads, numGroups);
+  obs::Span span(std::string(spanLabel) + " (" + std::to_string(numTraces) +
+                 " traces, " + std::to_string(threads) +
+                 " threads, batch engine)");
+  obs::ProgressMeter meter(spanLabel, numTraces, progress);
+  obs::MetricsRegistry::global().counter("acquire.traces_total")
+      .add(numTraces);
+  const auto lanesOf = [&](std::size_t g) {
+    return std::min<std::size_t>(BatchSim::kLanes,
+                                 numTraces - g * BatchSim::kLanes);
+  };
+
+  TraceSet traces(numSamples);
+  traces.reserve(numTraces);
+  if (threads <= 1) {
+    detail::shardedFor(
+        numGroups, 1,
+        [&](std::uint32_t, std::size_t g) {
+          body(proto, g, traces);
+          meter.step(lanesOf(g) - 1);
+        },
+        describe, &meter, spanLabel);
+    meter.finish();
+    return traces;
+  }
+
+  std::vector<BatchSim> sims;
+  sims.reserve(threads);
+  std::vector<TraceSet> shards(threads, TraceSet(numSamples));
+  for (std::uint32_t w = 0; w < threads; ++w) {
+    sims.push_back(proto.clone());
+    shards[w].reserve((numGroups * (w + 1) / threads -
+                       numGroups * w / threads) *
+                      BatchSim::kLanes);
+  }
+  detail::shardedFor(
+      numGroups, threads,
+      [&](std::uint32_t w, std::size_t g) {
+        body(sims[w], g, shards[w]);
+        meter.step(lanesOf(g) - 1);
+      },
+      describe, &meter, spanLabel);
+  meter.finish();
+  {
+    obs::Span mergeSpan(std::string(spanLabel) + " merge shards");
+    for (const TraceSet& shard : shards) traces.append(shard);
+  }
+  return traces;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
@@ -124,8 +208,59 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
   };
   const std::uint32_t threads =
       resolveWorkerThreads(cfg.numThreads, schedule.size());
+  const SimEngine engine =
+      resolveEngine(cfg.engine, sim, power, schedule.size());
 
-  if (resolveEngine(cfg.engine, sim, power) == SimEngine::Compiled) {
+  if (engine == SimEngine::Batch) {
+    // Bit-parallel path: lane l of group g is trace 64*g + l, and each
+    // lane draws its masks and noise seed from the trace's own stream —
+    // the per-trace protocol is the reference body's verbatim, so the
+    // TraceSet is bit-identical to the scalar engines' regardless of how
+    // traces fall into groups.
+    const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
+    BatchSim bsim(design, sim.options());
+    bsim.attachMetrics(sim.metricsRegistry());
+    const std::size_t n = schedule.size();
+    const auto describeGroup = [&](std::size_t g) {
+      const std::size_t base = g * BatchSim::kLanes;
+      return "acquire traces [" + std::to_string(base) + ", " +
+             std::to_string(std::min<std::size_t>(base + BatchSim::kLanes,
+                                                  n)) +
+             ") (style " + std::string(sbox.name()) + ", batch engine)";
+    };
+    const auto body = [&](BatchSim& worker, std::size_t g, TraceSet& out) {
+      const std::size_t base = g * BatchSim::kLanes;
+      const std::size_t lanes =
+          std::min<std::size_t>(BatchSim::kLanes, n - base);
+      std::vector<std::vector<std::uint8_t>> inits(lanes), fins(lanes);
+      std::vector<std::uint64_t> seeds(lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        Prng rng(deriveStreamSeed(cfg.seed, base + l));
+        inits[l] = sbox.encode(cfg.initialValue, rng);
+        fins[l] = sbox.encode(schedule[base + l], rng);
+        seeds[l] = rng.next() | 1ULL;
+      }
+      worker.settle(inits);
+      worker.runFused(fins, seeds);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::uint8_t cls = schedule[base + l];
+        const std::uint32_t lane = static_cast<std::uint32_t>(l);
+        const std::uint8_t decoded =
+            sbox.decode(worker.outputValues(lane), fins[l]);
+        if (decoded != kPresentSbox[cls]) {
+          throw std::logic_error("acquisition: decode mismatch at trace " +
+                                 std::to_string(base + l));
+        }
+        const double* trace = worker.laneTrace(lane);
+        out.add(cls, std::vector<double>(trace, trace + design.numSamples));
+      }
+    };
+    return shardedBatchAcquire(bsim, power.options().numSamples, n,
+                               cfg.numThreads, body, describeGroup,
+                               cfg.progress, "acquire");
+  }
+
+  if (engine == SimEngine::Compiled) {
     // Fast path: fused deposition, no Transition list materialized. The
     // per-trace protocol — stream derivation, encode order, the decode
     // sanity check, the noise-seed draw — is the reference body's verbatim;
@@ -186,8 +321,49 @@ TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,
            std::string(sbox.name()) + ")";
   };
   const std::uint32_t threads = resolveWorkerThreads(numThreads, numTraces);
+  const SimEngine resolved = resolveEngine(engine, sim, power, numTraces);
 
-  if (resolveEngine(engine, sim, power) == SimEngine::Compiled) {
+  if (resolved == SimEngine::Batch) {
+    const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
+    BatchSim bsim(design, sim.options());
+    bsim.attachMetrics(sim.metricsRegistry());
+    const auto describeGroup = [&](std::size_t g) {
+      const std::size_t base = g * BatchSim::kLanes;
+      return "keyed traces [" + std::to_string(base) + ", " +
+             std::to_string(std::min<std::size_t>(base + BatchSim::kLanes,
+                                                  numTraces)) +
+             ") (style " + std::string(sbox.name()) + ", batch engine)";
+    };
+    const auto body = [&](BatchSim& worker, std::size_t g, TraceSet& out) {
+      const std::size_t base = g * BatchSim::kLanes;
+      const std::size_t lanes =
+          std::min<std::size_t>(BatchSim::kLanes, numTraces - base);
+      std::vector<std::vector<std::uint8_t>> inits(lanes), fins(lanes);
+      std::vector<std::uint64_t> seeds(lanes);
+      std::vector<std::uint8_t> plains(lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        Prng rng(deriveStreamSeed(seed, base + l));
+        plains[l] = rng.nibble();
+        inits[l] = sbox.encode(0, rng);
+        fins[l] = sbox.encode(static_cast<std::uint8_t>(plains[l] ^ key),
+                              rng);
+        seeds[l] = rng.next() | 1ULL;
+      }
+      worker.settle(inits);
+      worker.runFused(fins, seeds);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const double* trace =
+            worker.laneTrace(static_cast<std::uint32_t>(l));
+        out.add(plains[l],
+                std::vector<double>(trace, trace + design.numSamples));
+      }
+    };
+    return shardedBatchAcquire(bsim, power.options().numSamples, numTraces,
+                               numThreads, body, describeGroup,
+                               obs::ProgressFn(), "acquire-keyed");
+  }
+
+  if (resolved == SimEngine::Compiled) {
     const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
     CompiledSim csim(design, sim.options());
     csim.attachMetrics(sim.metricsRegistry());

@@ -55,21 +55,28 @@ namespace lpa {
 
 /// Which simulation engine serves an acquisition.
 ///
-/// `Auto` (the default) picks the compiled fast path (sim/compiled_sim.h)
-/// whenever the design is eligible — no fault overlay on the netlist and a
-/// power model built for it — and falls back to the reference EventSim
-/// otherwise. Acquisition itself never needs the recorded transition list
-/// (power deposition is fused into the commit step), so eligibility is
-/// purely a property of the design. The two engines are bit-identical
-/// (same traces, same determinism digest, same event tallies; enforced by
-/// tests/test_compiled_sim.cpp), so `Auto` is safe everywhere; `Reference`
-/// and `Compiled` force one engine for A/B benchmarking and CI digest
-/// cross-checks. Forcing `Compiled` on an ineligible design throws
-/// std::invalid_argument.
+/// `Auto` (the default) picks the fastest eligible engine. Eligibility is
+/// purely a property of the design — no fault overlay on the netlist and a
+/// power model built for it (acquisition never needs the recorded
+/// transition list; power deposition is fused into the commit step). On an
+/// eligible design, Auto serves the run with the bit-parallel batch engine
+/// (sim/batch_sim.h, 64 traces per gate operation) when the trace budget
+/// reaches one full lane group (BatchSim::kLanes), and with the compiled
+/// scalar fast path (sim/compiled_sim.h) below that; an ineligible design
+/// falls back to the reference EventSim — Auto never throws. All three
+/// engines are bit-identical (same traces, same determinism digest, same
+/// per-trace event tallies; enforced by tests/test_compiled_sim.cpp,
+/// tests/test_batch_sim.cpp and the differential fuzzer), so `Auto` is
+/// safe everywhere; `Reference`, `Compiled` and `Batch` force one engine
+/// for A/B benchmarking and CI digest cross-checks. Forcing `Compiled` or
+/// `Batch` on an ineligible design throws std::invalid_argument (a forced
+/// `Batch` below the lane width is fine — partial groups are supported).
 enum class SimEngine : std::uint8_t {
-  Auto,       ///< compiled when eligible, reference otherwise
+  Auto,       ///< fastest eligible engine, reference otherwise
   Compiled,   ///< require the compiled fast path (throws if ineligible)
   Reference,  ///< always the reference EventSim
+  Batch,      ///< require the bit-parallel batch engine (throws if
+              ///< ineligible)
 };
 
 struct AcquisitionConfig {

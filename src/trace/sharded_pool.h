@@ -157,9 +157,11 @@ void shardedFor(std::size_t n, std::uint32_t threads, const Body& body,
     }
   }
   if (aborted()) {
-    throw obs::ProgressAborted(
-        spanLabel ? spanLabel : "sharded work", progress->done(),
-        static_cast<std::uint64_t>(n));
+    // Denominate in the meter's units, not the pool's item count — a work
+    // item may cover several meter units (the batch engine's lane groups),
+    // and the payload must match what the aborting sink was shown.
+    throw obs::ProgressAborted(spanLabel ? spanLabel : "sharded work",
+                               progress->done(), progress->total());
   }
 }
 

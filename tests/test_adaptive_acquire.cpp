@@ -73,13 +73,29 @@ TEST(AdaptiveAcquire, BitIdenticalAcrossEngines) {
   SboxExperiment ref(SboxStyle::Isw, cfg);
   const stats::AdaptiveResult a = ref.adaptiveAcquireAt(0.0, kFourFolds);
 
-  cfg.acquisition.engine = SimEngine::Auto;  // compiled when eligible
+  cfg.acquisition.engine = SimEngine::Auto;  // batch: batches are >= 64
   SboxExperiment fast(SboxStyle::Isw, cfg);
   const stats::AdaptiveResult b = fast.adaptiveAcquireAt(0.0, kFourFolds);
 
   EXPECT_TRUE(traceSetsEqual(a.traces, b.traces));
   EXPECT_EQ(a.estimate.total, b.estimate.total);
   EXPECT_EQ(a.stop, b.stop);
+
+  cfg.acquisition.engine = SimEngine::Batch;  // forced bit-parallel engine
+  SboxExperiment bat(SboxStyle::Isw, cfg);
+  const stats::AdaptiveResult c = bat.adaptiveAcquireAt(0.0, kFourFolds);
+
+  EXPECT_TRUE(traceSetsEqual(a.traces, c.traces));
+  EXPECT_EQ(a.estimate.total, c.estimate.total);
+  EXPECT_EQ(a.stop, c.stop);
+
+  // Batch engine + single worker: the lane-group sharding must be thread
+  // invariant exactly like the scalar engines.
+  cfg.acquisition.numThreads = 1;
+  SboxExperiment batOne(SboxStyle::Isw, cfg);
+  const stats::AdaptiveResult d = batOne.adaptiveAcquireAt(0.0, kFourFolds);
+  EXPECT_TRUE(traceSetsEqual(a.traces, d.traces));
+  EXPECT_EQ(a.estimate.total, d.estimate.total);
 }
 
 TEST(AdaptiveAcquire, EarlyStopIsPrefixOfFullBudgetRun) {

@@ -1,0 +1,557 @@
+// Per-lane bit-identity suite for the bit-parallel batch engine.
+//
+// BatchSim (sim/batch_sim.h) promises that every lane behaves exactly like
+// a private scalar simulator: identical transitions, settled states, fused
+// traces, per-lane stats, and divergence payloads — with no tie-break
+// waiver (the (time, pushId) wave order provably restricts to every lane's
+// scalar (time, seq) order; see the batch_sim.h header). These tests pin
+// the contract down across every implementation style, both delay kinds,
+// fresh and aged devices, lane counts {1, 7, 64} plus a 200-trace grouped
+// sweep, the batch invariance properties (lane permutation, batch size),
+// and the acquisition engine-selection logic (Auto thresholds, fault
+// fallback, thread invariance). Mirrors tests/test_compiled_sim.cpp.
+
+#include "sim/batch_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_spec.h"
+#include "obs/metrics.h"
+#include "sim/compiled_sim.h"
+#include "trace/acquisition.h"
+#include "trace/prng.h"
+
+namespace lpa {
+namespace {
+
+void expectSameStats(const SimStats& a, const SimStats& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.eventsProcessed, b.eventsProcessed);
+  EXPECT_EQ(a.committedTransitions, b.committedTransitions);
+  EXPECT_EQ(a.cancelledEvents, b.cancelledEvents);
+  EXPECT_EQ(a.inertialFiltered, b.inertialFiltered);
+  EXPECT_EQ(a.peakQueueDepth, b.peakQueueDepth);
+  EXPECT_EQ(a.watchdogMinHeadroom, b.watchdogMinHeadroom);
+}
+
+void expectSameTransitions(const std::vector<Transition>& a,
+                           const std::vector<Transition>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // EXPECT_EQ on the doubles, not NEAR: the contract is bit-identity.
+    EXPECT_EQ(a[i].timePs, b[i].timePs) << "transition " << i;
+    EXPECT_EQ(a[i].net, b[i].net) << "transition " << i;
+    EXPECT_EQ(a[i].newValue, b[i].newValue) << "transition " << i;
+    EXPECT_EQ(a[i].weight, b[i].weight) << "transition " << i;
+  }
+}
+
+void expectIdenticalTraceSets(const TraceSet& a, const TraceSet& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.numSamples(), b.numSamples());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.label(i), b.label(i)) << "trace " << i;
+    for (std::uint32_t s = 0; s < a.numSamples(); ++s) {
+      ASSERT_EQ(a.trace(i)[s], b.trace(i)[s])
+          << "trace " << i << " sample " << s;
+    }
+  }
+}
+
+/// One lane's stimulus set, drawn from a shared stream exactly like a
+/// scalar consumer would draw it.
+struct LaneStimulus {
+  std::vector<std::uint8_t> init;
+  std::vector<std::uint8_t> fin;
+  std::uint64_t noiseSeed = 0;
+};
+
+std::vector<LaneStimulus> drawStimuli(const MaskedSbox& sbox,
+                                      std::size_t lanes, Prng& rng) {
+  std::vector<LaneStimulus> out(lanes);
+  for (auto& s : out) {
+    s.init = sbox.encode(0, rng);
+    s.fin = sbox.encode(rng.nibble(), rng);
+    s.noiseSeed = rng.next() | 1ULL;
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> inits(
+    const std::vector<LaneStimulus>& st) {
+  std::vector<std::vector<std::uint8_t>> v;
+  v.reserve(st.size());
+  for (const auto& s : st) v.push_back(s.init);
+  return v;
+}
+
+std::vector<std::vector<std::uint8_t>> fins(
+    const std::vector<LaneStimulus>& st) {
+  std::vector<std::vector<std::uint8_t>> v;
+  v.reserve(st.size());
+  for (const auto& s : st) v.push_back(s.fin);
+  return v;
+}
+
+std::vector<std::uint64_t> seeds(const std::vector<LaneStimulus>& st) {
+  std::vector<std::uint64_t> v;
+  v.reserve(st.size());
+  for (const auto& s : st) v.push_back(s.noiseSeed);
+  return v;
+}
+
+/// Drives a batch of `lanes` stimuli through BatchSim (recorded + fused)
+/// and asserts every lane bit-identical to a private EventSim and
+/// CompiledSim run of the same stimuli: settled nets, transitions,
+/// outputs, per-lane stats, and fused traces.
+void expectLaneIdentity(const MaskedSbox& sbox, const DelayModel& dm,
+                        const PowerModel& pm, const SimOptions& opts,
+                        std::uint64_t seed, std::size_t lanes) {
+  SCOPED_TRACE(std::string(sbox.name()) + " lanes=" +
+               std::to_string(lanes));
+  const CompiledDesign design(sbox.netlist(), dm, pm);
+  BatchSim bat(design, opts);
+
+  Prng rng(seed);
+  const auto st = drawStimuli(sbox, lanes, rng);
+  bat.settle(inits(st));
+  ASSERT_EQ(bat.activeLanes(), lanes);
+
+  // Settled state per lane, checked before the run overwrites it.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    const std::uint32_t lane = static_cast<std::uint32_t>(l);
+    EventSim ref(sbox.netlist(), dm, opts);
+    ref.settle(st[l].init);
+    for (NetId n = 0; n < sbox.netlist().numGates(); ++n) {
+      ASSERT_EQ(ref.value(n), bat.value(n, lane)) << "settled net " << n;
+    }
+  }
+
+  bat.run(fins(st));
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    const std::uint32_t lane = static_cast<std::uint32_t>(l);
+    EventSim ref(sbox.netlist(), dm, opts);
+    CompiledSim cmp(design, opts);
+    ref.settle(st[l].init);
+    cmp.settle(st[l].init);
+    const auto refLog = ref.run(st[l].fin);
+    expectSameTransitions(refLog, bat.laneTransitions(lane));
+    expectSameTransitions(cmp.run(st[l].fin), bat.laneTransitions(lane));
+    EXPECT_EQ(ref.outputValues(), bat.outputValues(lane));
+    expectSameStats(ref.stats(), bat.laneStats(lane));
+
+    // Fused trace parity: lane trace == PowerModel::sample of the scalar
+    // run, checked below after the batch fused pass.
+  }
+
+  // Fused pass with the same stimuli (fresh batch instance so per-lane
+  // stats stay one-run deep on both sides above).
+  BatchSim fused(design, opts);
+  fused.settle(inits(st));
+  fused.runFused(fins(st), seeds(st));
+  for (std::size_t l = 0; l < lanes; ++l) {
+    SCOPED_TRACE("fused lane " + std::to_string(l));
+    EventSim ref(sbox.netlist(), dm, opts);
+    ref.settle(st[l].init);
+    const auto expected = pm.sample(ref.run(st[l].fin), st[l].noiseSeed);
+    const double* got = fused.laneTrace(static_cast<std::uint32_t>(l));
+    for (std::size_t s = 0; s < expected.size(); ++s) {
+      ASSERT_EQ(got[s], expected[s]) << "sample " << s;
+    }
+  }
+}
+
+TEST(BatchSim, BitIdenticalAcrossStylesKindsAgesAndLaneCounts) {
+  for (SboxStyle style : allSboxStyles()) {
+    const auto sbox = makeSbox(style);
+    DelayModel dm(sbox->netlist());
+    PowerModel pm(sbox->netlist());
+    for (DelayKind kind : {DelayKind::Inertial, DelayKind::Transport}) {
+      SimOptions opts;
+      opts.kind = kind;
+      // Fresh device, the lane-count sweep including a full word.
+      dm.clearAging();
+      pm.clearAging();
+      for (std::size_t lanes : {std::size_t(1), std::size_t(7),
+                                std::size_t(64)}) {
+        expectLaneIdentity(*sbox, dm, pm, opts, 0xA5EED, lanes);
+      }
+      // Aged device: non-uniform slowdown/attenuation exercises the
+      // refreshed delay/energy snapshots (and the batch calendar's
+      // delay-derived bucket width).
+      std::vector<double> slow(sbox->netlist().numGates());
+      std::vector<double> dim(sbox->netlist().numGates());
+      for (std::size_t g = 0; g < slow.size(); ++g) {
+        slow[g] = 1.0 + 0.001 * static_cast<double>(g % 97);
+        dim[g] = 1.0 - 0.0005 * static_cast<double>(g % 89);
+      }
+      dm.setAgingFactors(slow);
+      pm.setAgingFactors(dim);
+      expectLaneIdentity(*sbox, dm, pm, opts, 0xA6ED, 7);
+    }
+  }
+}
+
+TEST(BatchSim, TwoHundredTracesAcrossPartialGroups) {
+  // A 200-trace budget grouped 64+64+64+8: every group — full and partial —
+  // must reproduce the scalar engine lane by lane.
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  for (DelayKind kind : {DelayKind::Inertial, DelayKind::Transport}) {
+    SimOptions opts;
+    opts.kind = kind;
+    Prng rng(0x200);
+    const auto st = drawStimuli(*sbox, 200, rng);
+    BatchSim bat(design, opts);
+    EventSim ref(sbox->netlist(), dm, opts);
+    for (std::size_t base = 0; base < st.size();
+         base += BatchSim::kLanes) {
+      const std::size_t lanes =
+          std::min<std::size_t>(BatchSim::kLanes, st.size() - base);
+      const std::vector<LaneStimulus> group(st.begin() + base,
+                                            st.begin() + base + lanes);
+      bat.settle(inits(group));
+      bat.run(fins(group));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        SCOPED_TRACE("trace " + std::to_string(base + l));
+        ref.settle(group[l].init);
+        expectSameTransitions(
+            ref.run(group[l].fin),
+            bat.laneTransitions(static_cast<std::uint32_t>(l)));
+        EXPECT_EQ(ref.outputValues(),
+                  bat.outputValues(static_cast<std::uint32_t>(l)));
+      }
+    }
+  }
+}
+
+TEST(BatchSim, LanePermutationInvariance) {
+  // Reversing the lane order must reverse the results and nothing else:
+  // lanes are independent simulations that merely share words.
+  const auto sbox = makeSbox(SboxStyle::Rsm);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  SimOptions opts;
+
+  Prng rng(0xFACE);
+  const auto st = drawStimuli(*sbox, 9, rng);
+  std::vector<LaneStimulus> rev(st.rbegin(), st.rend());
+
+  BatchSim fwd(design, opts);
+  fwd.settle(inits(st));
+  fwd.run(fins(st));
+  BatchSim bwd(design, opts);
+  bwd.settle(inits(rev));
+  bwd.run(fins(rev));
+  for (std::size_t l = 0; l < st.size(); ++l) {
+    SCOPED_TRACE("lane " + std::to_string(l));
+    const std::uint32_t mirror =
+        static_cast<std::uint32_t>(st.size() - 1 - l);
+    expectSameTransitions(
+        fwd.laneTransitions(static_cast<std::uint32_t>(l)),
+        bwd.laneTransitions(mirror));
+    expectSameStats(fwd.laneStats(static_cast<std::uint32_t>(l)),
+                    bwd.laneStats(mirror));
+  }
+
+  BatchSim ffw(design, opts);
+  ffw.settle(inits(st));
+  ffw.runFused(fins(st), seeds(st));
+  BatchSim fbw(design, opts);
+  fbw.settle(inits(rev));
+  std::vector<std::uint64_t> revSeeds(seeds(st));
+  std::reverse(revSeeds.begin(), revSeeds.end());
+  fbw.runFused(fins(rev), revSeeds);
+  for (std::size_t l = 0; l < st.size(); ++l) {
+    const double* a = ffw.laneTrace(static_cast<std::uint32_t>(l));
+    const double* b =
+        fbw.laneTrace(static_cast<std::uint32_t>(st.size() - 1 - l));
+    for (std::uint32_t s = 0; s < design.numSamples; ++s) {
+      ASSERT_EQ(a[s], b[s]) << "lane " << l << " sample " << s;
+    }
+  }
+}
+
+TEST(BatchSim, BatchSizeInvariance) {
+  // 150 traces grouped {64, 64, 22} and {50, 50, 50} must produce the same
+  // per-trace results: grouping is a pure batching decision.
+  const auto sbox = makeSbox(SboxStyle::Lut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  SimOptions opts;
+
+  Prng rng(0x150);
+  const auto st = drawStimuli(*sbox, 150, rng);
+  const auto collect = [&](const std::vector<std::size_t>& groupSizes) {
+    std::vector<std::vector<double>> traces;
+    BatchSim bat(design, opts);
+    std::size_t base = 0;
+    for (std::size_t sz : groupSizes) {
+      const std::vector<LaneStimulus> group(st.begin() + base,
+                                            st.begin() + base + sz);
+      bat.settle(inits(group));
+      bat.runFused(fins(group), seeds(group));
+      for (std::size_t l = 0; l < sz; ++l) {
+        const double* t = bat.laneTrace(static_cast<std::uint32_t>(l));
+        traces.emplace_back(t, t + design.numSamples);
+      }
+      base += sz;
+    }
+    return traces;
+  };
+  const auto a = collect({64, 64, 22});
+  const auto b = collect({50, 50, 50});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "trace " << i;
+  }
+}
+
+TEST(BatchSim, CloneAndResetReuseArenasBitIdentically) {
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  BatchSim a(design, SimOptions{});
+
+  Prng rng(9);
+  const auto st = drawStimuli(*sbox, 5, rng);
+
+  // Warm the arenas, then check a clone and a reset instance reproduce a
+  // fresh instance exactly (reused buckets and packed pending words must
+  // not leak prior events).
+  a.settle(inits(st));
+  a.run(fins(st));
+  std::vector<std::vector<Transition>> first;
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    first.push_back(a.laneTransitions(l));
+  }
+
+  BatchSim b = a.clone();
+  EXPECT_EQ(b.laneStats(0).runs, 0u) << "clone starts with zeroed stats";
+  b.settle(inits(st));
+  b.run(fins(st));
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    expectSameTransitions(first[l], b.laneTransitions(l));
+  }
+
+  a.reset();
+  EXPECT_EQ(a.laneStats(0).runs, 0u);
+  a.settle(inits(st));
+  a.run(fins(st));
+  for (std::uint32_t l = 0; l < 5; ++l) {
+    expectSameTransitions(first[l], a.laneTransitions(l));
+  }
+
+  // Back-to-back runs on one instance: arena reuse across runs.
+  for (int i = 0; i < 3; ++i) {
+    a.settle(inits(st));
+    a.run(fins(st));
+    for (std::uint32_t l = 0; l < 5; ++l) {
+      expectSameTransitions(first[l], a.laneTransitions(l));
+    }
+  }
+}
+
+TEST(BatchSim, WatchdogDivergenceMatchesReferencePerLane) {
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  SimOptions opts;
+  opts.maxEvents = 5;  // far below a GLUT transition's event count
+
+  Prng rng(13);
+  const auto st = drawStimuli(*sbox, 7, rng);
+  BatchSim bat(design, opts);
+  bat.settle(inits(st));
+  std::uint64_t batEvents = 0;
+  double batTime = -2.0;
+  int lane = -1;
+  try {
+    bat.run(fins(st));
+    FAIL() << "batch engine must diverge under maxEvents=5";
+  } catch (const SimDiverged& e) {
+    batEvents = e.eventsProcessed();
+    batTime = e.simTimePs();
+    lane = bat.divergedLane();
+  }
+  ASSERT_GE(lane, 0);
+
+  // The diverged lane's payload and stats must equal its private scalar
+  // run's (the other lanes stopped mid-flight; their stats carry no
+  // contract).
+  EventSim ref(sbox->netlist(), dm, opts);
+  ref.settle(st[static_cast<std::size_t>(lane)].init);
+  std::uint64_t refEvents = 0;
+  double refTime = -1.0;
+  try {
+    ref.run(st[static_cast<std::size_t>(lane)].fin);
+    FAIL() << "reference engine must diverge under maxEvents=5";
+  } catch (const SimDiverged& e) {
+    refEvents = e.eventsProcessed();
+    refTime = e.simTimePs();
+  }
+  EXPECT_EQ(refEvents, batEvents);
+  EXPECT_EQ(refTime, batTime);
+  expectSameStats(ref.stats(),
+                  bat.laneStats(static_cast<std::uint32_t>(lane)));
+
+  // Recovery: after settle() the aborted run's calendar and pending words
+  // must be gone; the retry diverges again with the same payload.
+  bat.settle(inits(st));
+  std::uint64_t retryEvents = 0;
+  try {
+    bat.run(fins(st));
+    FAIL() << "retry must diverge again";
+  } catch (const SimDiverged& e) {
+    retryEvents = e.eventsProcessed();
+  }
+  EXPECT_EQ(batEvents, retryEvents);
+  EXPECT_EQ(lane, bat.divergedLane());
+}
+
+TEST(BatchSim, RejectsBadLaneConfigurations) {
+  const auto sbox = makeSbox(SboxStyle::Lut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  const CompiledDesign design(sbox->netlist(), dm, pm);
+  BatchSim bat(design, SimOptions{});
+
+  // Wrong per-lane input width, like the scalar engines.
+  EXPECT_THROW(bat.settle({{1, 0}}), std::invalid_argument);
+  // No lanes / too many lanes.
+  EXPECT_THROW(bat.settle({}), std::invalid_argument);
+  Prng rng(3);
+  std::vector<std::vector<std::uint8_t>> many(
+      65, sbox->encode(0, rng));
+  EXPECT_THROW(bat.settle(many), std::invalid_argument);
+
+  // Lane-count mismatches between settle and run, and seed/lane mismatch.
+  const auto st = drawStimuli(*sbox, 3, rng);
+  bat.settle(inits(st));
+  const auto two = drawStimuli(*sbox, 2, rng);
+  EXPECT_THROW(bat.run(fins(two)), std::invalid_argument);
+  EXPECT_THROW(bat.runFused(fins(st), {1, 2}), std::invalid_argument);
+}
+
+TEST(BatchAcquire, AutoPicksBatchAtLaneWidthAndCompiledBelow) {
+  // Regression for the Auto selection rule: a trace budget below the lane
+  // width must fall back to the compiled engine (not throw, not batch);
+  // from one full lane group on, the batch engine serves the run. Engine
+  // counters in a private registry make the choice observable.
+  const auto sbox = makeSbox(SboxStyle::Lut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  EventSim sim(sbox->netlist(), dm);
+  obs::MetricsRegistry registry;
+  sim.attachMetrics(&registry);
+
+  AcquisitionConfig cfg;
+  cfg.numThreads = 1;
+  cfg.engine = SimEngine::Auto;
+
+  cfg.tracesPerClass = 2;  // 32 traces < 64 lanes
+  acquire(*sbox, sim, pm, cfg);
+  EXPECT_EQ(registry.counter("sim.batch.batches").value(), 0u);
+  EXPECT_GT(registry.counter("sim.compiled.runs").value(), 0u);
+
+  cfg.tracesPerClass = 4;  // 64 traces = one full lane group
+  acquire(*sbox, sim, pm, cfg);
+  EXPECT_GT(registry.counter("sim.batch.batches").value(), 0u);
+  EXPECT_EQ(registry.counter("sim.batch.runs").value(), 64u);
+}
+
+TEST(BatchAcquire, ForcedEnginesAreBitIdenticalAcrossThreads) {
+  const auto sbox = makeSbox(SboxStyle::Glut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  EventSim sim(sbox->netlist(), dm);
+
+  // 13 traces/class = 208 traces: three full lane groups plus a partial
+  // 16-lane tail, so thread sharding cuts through group boundaries.
+  AcquisitionConfig cfg;
+  cfg.tracesPerClass = 13;
+  cfg.numThreads = 1;
+  cfg.engine = SimEngine::Reference;
+  const TraceSet ref = acquire(*sbox, sim, pm, cfg);
+
+  for (std::uint32_t threads : {1u, 2u, 0u}) {  // 0 = hardware concurrency
+    cfg.numThreads = threads;
+    cfg.engine = SimEngine::Batch;
+    expectIdenticalTraceSets(ref, acquire(*sbox, sim, pm, cfg));
+    cfg.engine = SimEngine::Auto;
+    expectIdenticalTraceSets(ref, acquire(*sbox, sim, pm, cfg));
+  }
+
+  // A forced batch run below the lane width is a legal partial group.
+  cfg.tracesPerClass = 2;
+  cfg.numThreads = 1;
+  cfg.engine = SimEngine::Reference;
+  const TraceSet small = acquire(*sbox, sim, pm, cfg);
+  cfg.engine = SimEngine::Batch;
+  expectIdenticalTraceSets(small, acquire(*sbox, sim, pm, cfg));
+}
+
+TEST(BatchAcquire, KeyedAcquisitionEnginesAgree) {
+  const auto sbox = makeSbox(SboxStyle::Lut);
+  const DelayModel dm(sbox->netlist());
+  const PowerModel pm(sbox->netlist());
+  EventSim sim(sbox->netlist(), dm);
+  const TraceSet ref = acquireKeyed(*sbox, sim, pm, /*key=*/0xB, 100,
+                                    /*seed=*/5, /*numThreads=*/1,
+                                    SimEngine::Reference);
+  const TraceSet bat = acquireKeyed(*sbox, sim, pm, 0xB, 100, 5, 2,
+                                    SimEngine::Batch);
+  expectIdenticalTraceSets(ref, bat);
+}
+
+TEST(BatchAcquire, FaultedDesignFallsBackAndForcedBatchThrows) {
+  const auto sbox = makeSbox(SboxStyle::Lut);
+  const DelayModel dm(sbox->netlist());
+  const NetId victim = sbox->netlist().inputs().back();
+  const FaultedDesign faulted =
+      FaultInjector(sbox->netlist(), dm).apply({FaultKind::StuckAt0, victim});
+  const PowerModel pm(faulted.netlist);
+  EventSim sim(faulted.netlist, dm);
+
+  AcquisitionConfig cfg;
+  cfg.tracesPerClass = 4;  // 64 traces: Auto would pick Batch if eligible
+  cfg.numThreads = 1;
+
+  // Regression: Auto must *fall back* on the overlaid netlist, never
+  // throw — it reproduces the reference outcome exactly (a trace set, or
+  // a decode-mismatch worker error for a logic-corrupting fault).
+  const auto outcome = [&](SimEngine engine) {
+    cfg.engine = engine;
+    try {
+      return std::make_pair(std::string("ok"), acquire(*sbox, sim, pm, cfg));
+    } catch (const std::exception& e) {
+      return std::make_pair(std::string(e.what()), TraceSet(0));
+    }
+  };
+  const auto ref = outcome(SimEngine::Reference);
+  const auto aut = outcome(SimEngine::Auto);
+  EXPECT_EQ(ref.first, aut.first);
+  expectIdenticalTraceSets(ref.second, aut.second);
+
+  // Forcing the batch engine on an overlaid netlist is an immediate
+  // configuration error, before any worker runs.
+  cfg.engine = SimEngine::Batch;
+  EXPECT_THROW(acquire(*sbox, sim, pm, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lpa

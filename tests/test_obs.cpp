@@ -325,10 +325,14 @@ TEST(Progress, RateLimitSuppressesIntermediateUpdates) {
 
 TEST(Progress, SinkReturningFalseAbortsAcquisition) {
   // Abort on the very first callback (the meter's first step always emits),
-  // so the abort lands while most of the 64 traces are still pending.
+  // so the abort lands while most of the 64 traces are still pending. The
+  // scalar engines step the meter per trace; pin one so the test keeps its
+  // per-trace granularity now that Auto serves 64+ traces with the batch
+  // engine (whose coarser abort is covered by the test below).
   ExperimentConfig cfg;
   cfg.acquisition.tracesPerClass = 4;
   cfg.acquisition.numThreads = 2;
+  cfg.acquisition.engine = SimEngine::Compiled;
   cfg.acquisition.progress = [](const obs::ProgressUpdate&) { return false; };
   SboxExperiment exp(SboxStyle::Glut, cfg);
   try {
@@ -337,6 +341,27 @@ TEST(Progress, SinkReturningFalseAbortsAcquisition) {
   } catch (const obs::ProgressAborted& e) {
     EXPECT_LT(e.done(), e.total());
     EXPECT_EQ(e.total(), 64u);
+    EXPECT_NE(std::string(e.what()).find("acquire"), std::string::npos);
+  }
+}
+
+TEST(Progress, SinkReturningFalseAbortsBatchAcquisition) {
+  // The batch engine's work item is a 64-lane group, so a false-returning
+  // sink aborts at group granularity: the abort is honored before the next
+  // group starts and the payload is trace-denominated (done strictly below
+  // total needs more than one group in flight — 256 traces = 4 groups).
+  ExperimentConfig cfg;
+  cfg.acquisition.tracesPerClass = 16;
+  cfg.acquisition.numThreads = 1;
+  cfg.acquisition.engine = SimEngine::Batch;
+  cfg.acquisition.progress = [](const obs::ProgressUpdate&) { return false; };
+  SboxExperiment exp(SboxStyle::Glut, cfg);
+  try {
+    exp.acquireAt(0.0);
+    FAIL() << "expected ProgressAborted";
+  } catch (const obs::ProgressAborted& e) {
+    EXPECT_LT(e.done(), e.total());
+    EXPECT_EQ(e.total(), 256u);
     EXPECT_NE(std::string(e.what()).find("acquire"), std::string::npos);
   }
 }

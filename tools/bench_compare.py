@@ -53,7 +53,7 @@ RUN_REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2")
 # comparable), contract booleans, ratio params, and throughput params.
 PINNED_PARAMS = ("style", "traces_per_class")
 BOOL_PARAMS = ("obs_bit_identical", "engine_bit_identical")
-RATIO_PARAMS = ("compiled_speedup",)
+RATIO_PARAMS = ("compiled_speedup", "batch_speedup")
 RATIO_FLOOR_FRACTION = 0.75  # floor recorded by --update: 75% of measured
 THROUGHPUT_PREFIX = "traces_per_sec"
 
@@ -65,7 +65,11 @@ def load_inputs(paths):
         with open(path) as f:
             data = json.load(f)
         if data.get("schema") in RUN_REPORT_SCHEMAS:
-            reports[data["name"]] = data
+            name = data.get("name")
+            if not name:
+                sys.exit(f"{path}: run report has no 'name' field; "
+                         "regenerate it with the current bench binary")
+            reports[name] = data
         elif "benchmarks" in data:
             for bm in data["benchmarks"]:
                 if bm.get("run_type", "iteration") == "iteration":
@@ -179,9 +183,20 @@ def run_gate(baseline, reports, gbench, previous, tolerance, local):
         for key in entry.get("require_true", []):
             gate.check(params.get(key) is True, key, str(params.get(key)))
 
-        for key, floor in entry.get("min_ratio", {}).items():
+        floors = entry.get("min_ratio", {})
+        for key, floor in floors.items():
             cur = float(params.get(key, 0.0))
             gate.check(cur >= floor, key, f"{cur:.2f} (floor {floor:.2f})")
+        # A ratio the current report measures but the baseline has no floor
+        # for would silently pass forever — a stale baseline must be an
+        # explicit failure, not a KeyError or a no-op.
+        for key in RATIO_PARAMS:
+            if key in params and key not in floors:
+                gate.check(False, key,
+                           "measured by the current report but the baseline "
+                           "records no min_ratio floor for it; refresh the "
+                           "baseline with a [bench-reset] commit "
+                           "(see EXPERIMENTS.md)")
 
         prev_tp = prev_reports.get(name, {}).get("throughput", {})
         for key, base_val in entry.get("throughput", {}).items():
