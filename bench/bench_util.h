@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/experiment.h"
+#include "jobs/trace_digest.h"
 #include "obs/progress.h"
 #include "obs/run_report.h"
 #include "obs/trace_span.h"
@@ -203,34 +204,9 @@ class RunScope {
 
 /// Order-sensitive FNV-1a digest over the exact bit patterns of a double
 /// sequence — the determinism digest reported by benches (bit-identical
-/// traces <=> equal digest strings).
-class DigestAccumulator {
- public:
-  void add(double v) {
-    std::uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v));
-    std::memcpy(&bits, &v, sizeof(bits));
-    for (int b = 0; b < 64; b += 8) {
-      hash_ ^= (bits >> b) & 0xFF;
-      hash_ *= 0x100000001B3ULL;
-    }
-  }
-  void addTraceSet(const TraceSet& traces) {
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      add(static_cast<double>(traces.label(i)));
-      const double* x = traces.trace(i);
-      for (std::uint32_t s = 0; s < traces.numSamples(); ++s) add(x[s]);
-    }
-  }
-  std::string hex() const {
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016llx",
-                  static_cast<unsigned long long>(hash_));
-    return buf;
-  }
-
- private:
-  std::uint64_t hash_ = 0xCBF29CE484222325ULL;  // FNV offset basis
-};
+/// traces <=> equal digest strings). The implementation moved to
+/// jobs/trace_digest.h so the checkpoint/resume layer shares the exact
+/// folding order the BENCH_baseline.json digests pin down.
+using DigestAccumulator = ::lpa::jobs::DigestAccumulator;
 
 }  // namespace lpa::bench

@@ -1,7 +1,10 @@
 #include "core/experiment.h"
 
+#include <cstring>
+
 #include "obs/metrics.h"
 #include "obs/trace_span.h"
+#include "trace/prng.h"
 
 namespace lpa {
 
@@ -79,6 +82,19 @@ stats::AdaptiveResult SboxExperiment::adaptiveAcquireAt(
   applyAge(months);
   return stats::adaptiveAcquire(*sbox_, sim_, power_, cfg_.acquisition,
                                 statsOpt);
+}
+
+jobs::ResilientResult SboxExperiment::resilientAcquireAt(
+    double months, const jobs::JobConfig& job) {
+  applyAge(months);
+  jobs::JobConfig j = job;
+  // Fold the age into the fingerprint: a checkpoint taken at one age must
+  // not resume a run at another (aging rescales the power model, so the
+  // result bits differ even though AcquisitionConfig is identical).
+  std::uint64_t monthsBits = 0;
+  std::memcpy(&monthsBits, &months, sizeof(monthsBits));
+  j.fingerprintExtra = mix64(j.fingerprintExtra ^ monthsBits);
+  return jobs::resilientAcquire(*sbox_, sim_, power_, cfg_.acquisition, j);
 }
 
 stats::LeakageEstimate SboxExperiment::estimateAt(double months,

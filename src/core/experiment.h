@@ -8,6 +8,7 @@
 
 #include "aging/aging_model.h"
 #include "core/leakage.h"
+#include "jobs/resilient.h"
 #include "power/power_model.h"
 #include "sboxes/masked_sbox.h"
 #include "sim/delay_model.h"
@@ -81,6 +82,14 @@ class SboxExperiment {
   /// per-batch convergence history.
   stats::AdaptiveResult adaptiveAcquireAt(
       double months, const stats::StreamingLeakage::Options& statsOpt = {});
+
+  /// Durable acquisition at `months` (jobs/resilient.h): checkpoint/
+  /// resume, deadline-bounded execution, per-group retry and engine
+  /// quarantine, honoring `acquisition.{adaptive, deadlineMs, trapBudget}`.
+  /// The device age is folded into the checkpoint fingerprint, so runs at
+  /// different ages can never cross-resume from one checkpoint file.
+  jobs::ResilientResult resilientAcquireAt(double months,
+                                           const jobs::JobConfig& job = {});
 
   /// Acquire + streaming interval estimate in one step — the estimate's
   /// point values are bit-identical to analyzeAt(months, mode) aggregates.

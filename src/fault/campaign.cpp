@@ -1,5 +1,7 @@
 #include "fault/campaign.h"
 
+#include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "netlist/validate.h"
@@ -119,7 +121,25 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
 
   obs::Span faultsSpan("campaign.faults (" + std::to_string(faults.size()) +
                        " faults, style " + std::string(sbox.name()) + ")");
-  obs::ProgressMeter meter("fault campaign", faults.size(), cfg.progress);
+
+  // Deadline: cancel the fault loop cooperatively through the progress
+  // abort path and hand back the completed prefix instead of throwing.
+  const auto start = std::chrono::steady_clock::now();
+  std::atomic<bool> deadlineTripped{false};
+  obs::ProgressFn sink = cfg.progress;
+  if (cfg.deadlineMs > 0) {
+    sink = [&](const obs::ProgressUpdate& u) {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (ms >= static_cast<double>(cfg.deadlineMs)) {
+        deadlineTripped.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      return cfg.progress ? cfg.progress(u) : true;
+    };
+  }
+  obs::ProgressMeter meter("fault campaign", faults.size(), sink);
 
   // Resolve outcome handles once; workers then only do relaxed adds.
   struct OutcomeCounters {
@@ -197,6 +217,7 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
     }
 
     report.classification = worstOf(report.counts);
+    report.completed = true;
     // Per-trace outcome tallies, one relaxed add per outcome per fault
     // (null handles no-op when cfg.observe is off).
     outcome.maskedOut.add(report.counts.maskedOut);
@@ -218,10 +239,20 @@ FaultCampaignResult runFaultCampaign(const MaskedSbox& sbox,
            std::string(sbox.name()) + ")";
   };
 
-  detail::shardedFor(faults.size(),
-                     resolveWorkerThreads(cfg.numThreads, faults.size()),
-                     runOneFault, describe, &meter, "fault");
+  try {
+    detail::shardedFor(faults.size(),
+                       resolveWorkerThreads(cfg.numThreads, faults.size()),
+                       runOneFault, describe, &meter, "fault");
+  } catch (const obs::ProgressAborted&) {
+    // Only the deadline's own abort is swallowed into a partial result; a
+    // user abort keeps throwing as before.
+    if (!deadlineTripped.load(std::memory_order_relaxed)) throw;
+    result.truncated = true;
+  }
   meter.finish();
+  for (const FaultReport& r : result.reports) {
+    if (r.completed) ++result.faultsCompleted;
+  }
   return result;
 }
 

@@ -58,6 +58,10 @@ struct FaultTraceCounts {
 struct FaultReport {
   FaultSpec fault;
   std::string description;  ///< describeFault() of the spec
+  /// True once this fault's traces actually ran. A deadline-truncated
+  /// campaign (FaultCampaignConfig::deadlineMs) returns default-initialized
+  /// reports for the faults it never reached; this flag tells them apart.
+  bool completed = false;
   /// Worst observed effect over all traces of this fault
   /// (Diverged > SilentCorruption > DetectedByDecode > MaskedOut).
   FaultDetection classification = FaultDetection::MaskedOut;
@@ -96,6 +100,13 @@ struct FaultCampaignConfig {
   /// fault (and forwarded to the baseline acquisition); returning false
   /// aborts the campaign cooperatively (throws obs::ProgressAborted).
   obs::ProgressFn progress;
+  /// Wall-clock budget in milliseconds for the fault loop (0 = none; the
+  /// baseline acquisition is not bounded — a partial campaign without a
+  /// baseline would be useless). On expiry the campaign cancels
+  /// cooperatively through the progress-abort path and returns the
+  /// completed prefix with `truncated` set instead of throwing; per-fault
+  /// FaultReport::completed flags say which reports are real.
+  std::uint64_t deadlineMs = 0;
 };
 
 struct FaultCampaignResult {
@@ -110,6 +121,10 @@ struct FaultCampaignResult {
   std::vector<FaultReport> reports;  ///< one per fault, in input order
   /// Per-fault trace sets when FaultCampaignConfig::keepFaultTraces.
   std::vector<TraceSet> faultTraces;
+  /// True when the deadline cut the fault loop short; `reports` then holds
+  /// default entries (completed == false) for the unreached faults.
+  bool truncated = false;
+  std::uint32_t faultsCompleted = 0;  ///< reports with completed == true
 };
 
 /// Mask/randomness-carrying primary inputs of an implementation, by the

@@ -1,0 +1,435 @@
+#include "jobs/resilient.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+
+#include "jobs/checkpoint.h"
+#include "jobs/trace_digest.h"
+#include "netlist/stats.h"
+#include "obs/metrics.h"
+#include "obs/trace_span.h"
+#include "stats/adaptive.h"
+#include "stats/convergence.h"
+#include "trace/prng.h"
+
+namespace lpa::jobs {
+
+namespace {
+
+void fnvU64(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 64; b += 8) {
+    h ^= (v >> b) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+void fnvF64(std::uint64_t& h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnvU64(h, bits);
+}
+
+std::string hexOf(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// True when `eptr` is a SimDiverged or wraps one through any depth of
+/// nesting (the sharded pool rethrows worker failures as WorkerError with
+/// the original nested).
+bool causedByDivergence(std::exception_ptr eptr) {
+  try {
+    std::rethrow_exception(eptr);
+  } catch (const SimDiverged&) {
+    return true;
+  } catch (const std::exception& e) {
+    try {
+      std::rethrow_if_nested(e);
+    } catch (...) {
+      return causedByDivergence(std::current_exception());
+    }
+    return false;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::uint64_t acquisitionFingerprint(const MaskedSbox& sbox,
+                                     const PowerModel& power,
+                                     const AcquisitionConfig& cfg,
+                                     const JobConfig& job) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  fnvU64(h, netlistDigest(sbox.netlist()));
+  fnvU64(h, static_cast<std::uint64_t>(sbox.style()));
+  fnvU64(h, power.options().numSamples);
+  fnvU64(h, cfg.seed);
+  fnvU64(h, cfg.tracesPerClass);
+  fnvU64(h, cfg.initialValue);
+  fnvU64(h, cfg.adaptive ? 1 : 0);
+  if (cfg.adaptive) {
+    fnvU64(h, cfg.batchSize);
+    fnvU64(h, cfg.maxTraces != 0 ? cfg.maxTraces
+                                 : 16ULL * cfg.tracesPerClass);
+    fnvF64(h, cfg.targetCiRel);
+  } else {
+    fnvU64(h, job.groupTraces);
+  }
+  fnvU64(h, static_cast<std::uint64_t>(job.statsOpt.mode));
+  fnvU64(h, job.statsOpt.numFolds);
+  fnvF64(h, job.statsOpt.confidence);
+  fnvU64(h, job.fingerprintExtra);
+  return h;
+}
+
+ResilientResult resilientAcquire(const MaskedSbox& sbox, EventSim& sim,
+                                 const PowerModel& power,
+                                 const AcquisitionConfig& cfg,
+                                 const JobConfig& job) {
+  const std::uint32_t numSamples = power.options().numSamples;
+  std::uint64_t totalTraces = 0;
+  std::uint64_t groupTraces = 0;
+  std::uint64_t domainSeed = 0;
+  if (cfg.adaptive) {
+    if (cfg.batchSize == 0 || cfg.batchSize % 16 != 0) {
+      throw std::invalid_argument(
+          "resilientAcquire: batchSize must be a positive multiple of 16");
+    }
+    totalTraces =
+        cfg.maxTraces != 0 ? cfg.maxTraces : 16ULL * cfg.tracesPerClass;
+    if (totalTraces == 0 || totalTraces % 16 != 0) {
+      throw std::invalid_argument(
+          "resilientAcquire: maxTraces must be a positive multiple of 16");
+    }
+    if (!(cfg.targetCiRel > 0.0)) {
+      throw std::invalid_argument(
+          "resilientAcquire: targetCiRel must be > 0");
+    }
+    groupTraces = cfg.batchSize;
+    domainSeed = deriveStreamSeed(cfg.seed, stats::kAdaptiveBatchStream);
+  } else {
+    if (job.groupTraces == 0) {
+      throw std::invalid_argument(
+          "resilientAcquire: groupTraces must be positive");
+    }
+    totalTraces = 16ULL * cfg.tracesPerClass;
+    groupTraces = job.groupTraces;
+  }
+  const std::uint64_t groupsTotal =
+      totalTraces == 0 ? 0 : (totalTraces + groupTraces - 1) / groupTraces;
+  const auto groupSpan = [&](std::uint64_t g) {
+    const std::uint64_t begin = g * groupTraces;
+    return std::pair<std::uint64_t, std::uint64_t>(
+        begin, std::min(begin + groupTraces, totalTraces));
+  };
+
+  const std::uint64_t fingerprint =
+      acquisitionFingerprint(sbox, power, cfg, job);
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Span span("jobs.resilient-acquire (" + std::string(sbox.name()) +
+                 ", " + std::to_string(groupsTotal) + " groups)");
+
+  ResilientResult res;
+  res.traces = TraceSet(numSamples);
+  stats::StreamingLeakage stream(numSamples, job.statsOpt);
+  ResilienceInfo& info = res.resilience;
+  info.groupsTotal = groupsTotal;
+  info.groupTraces = static_cast<std::uint32_t>(groupTraces);
+  info.stopReason.clear();
+  std::vector<std::uint64_t> groupDigests;
+
+  // ---- Resume: load, verify, and adopt a matching checkpoint. A stale,
+  // torn, or foreign checkpoint is ignored (fresh start), never trusted.
+  std::uint64_t g0 = 0;
+  if (!job.checkpointPath.empty()) {
+    std::string whyNot;
+    if (auto cp = loadCheckpoint(job.checkpointPath, &whyNot)) {
+      bool ok = cp->fingerprint == fingerprint && cp->seed == cfg.seed &&
+                cp->numSamples == numSamples &&
+                cp->groupTraces == groupTraces &&
+                cp->groupsTotal == groupsTotal &&
+                cp->completedGroups <= groupsTotal &&
+                cp->traces.size() ==
+                    std::min(cp->completedGroups * groupTraces, totalTraces);
+      for (std::uint64_t k = 0; ok && k < cp->completedGroups; ++k) {
+        const auto [b, e] = groupSpan(k);
+        if (digestOfRange(cp->traces, b, e) != cp->groupDigests[k]) {
+          ok = false;
+        }
+      }
+      std::optional<stats::StreamingLeakage> loaded;
+      if (ok) {
+        loaded = stats::StreamingLeakage::deserialize(
+            cp->streamState.data(), cp->streamState.size());
+        ok = loaded.has_value() && loaded->numSamples() == numSamples &&
+             loaded->traces() == cp->traces.size() &&
+             loaded->options().mode == job.statsOpt.mode &&
+             loaded->options().numFolds == job.statsOpt.numFolds &&
+             loaded->options().confidence == job.statsOpt.confidence;
+      }
+      if (ok) {
+        res.traces = std::move(cp->traces);
+        stream = std::move(*loaded);
+        groupDigests = std::move(cp->groupDigests);
+        info.lineage = std::move(cp->lineage);
+        g0 = cp->completedGroups;
+        info.resumed = g0 > 0;
+        if (info.resumed) reg.counter("jobs.resumes").add(1);
+      }
+    }
+  }
+
+  // ---- Clock and deadline (override makes tests deterministic: the
+  // virtual clock advances only at group boundaries).
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t committedThisRun = 0;
+  const auto elapsedMs = [&]() -> double {
+    if (job.elapsedMsOverride) return job.elapsedMsOverride(committedThisRun);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  const auto outOfTime = [&] {
+    return cfg.deadlineMs > 0 &&
+           elapsedMs() >= static_cast<double>(cfg.deadlineMs);
+  };
+  std::atomic<bool> deadlineTripped{false};
+
+  SimEngine engine = cfg.engine;
+  std::uint32_t divergences = 0;
+  const std::uint32_t spotEvery = job.spotCheckEveryGroups;
+  const std::uint64_t spotOffset =
+      spotEvery > 0
+          ? Prng(deriveStreamSeed(cfg.seed, kSpotCheckStream)).below(spotEvery)
+          : 0;
+
+  const auto quarantine = [&](std::uint64_t g, const char* reason) {
+    if (engine == SimEngine::Reference) return;
+    engine = SimEngine::Reference;
+    info.quarantined = true;
+    info.events.push_back({g, reason});
+    reg.counter("jobs.quarantines").add(1);
+  };
+
+  /// One group under one engine: a plain acquireRange slice (fixed) or
+  /// one adaptive batch under its derived substream — identical bits to
+  /// what the uninterrupted non-resilient run collects at those indices.
+  const auto runGroup = [&](std::uint64_t g, SimEngine eng) {
+    AcquisitionConfig bcfg = cfg;
+    bcfg.adaptive = false;
+    bcfg.engine = eng;
+    bcfg.progress = {};
+    const auto [begin, end] = groupSpan(g);
+    if (cfg.progress || cfg.deadlineMs > 0) {
+      bcfg.progress = [&, base = res.traces.size()](
+                          const obs::ProgressUpdate& u) {
+        if (outOfTime()) {
+          deadlineTripped.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        if (!cfg.progress) return true;
+        obs::ProgressUpdate o;
+        o.label = "resilient-acquire";
+        o.done = base + u.done;
+        o.total = totalTraces;
+        o.elapsedSec = elapsedMs() / 1e3;
+        o.ratePerSec = o.elapsedSec > 0.0
+                           ? static_cast<double>(o.done) / o.elapsedSec
+                           : 0.0;
+        o.etaSec = o.done > 0 ? o.elapsedSec / static_cast<double>(o.done) *
+                                    static_cast<double>(o.total - o.done)
+                              : -1.0;
+        return cfg.progress(o);
+      };
+    }
+    if (cfg.adaptive) {
+      bcfg.tracesPerClass = static_cast<std::uint32_t>((end - begin) / 16);
+      bcfg.seed = deriveStreamSeed(domainSeed, g);
+      return acquire(sbox, sim, power, bcfg);
+    }
+    return acquireRange(sbox, sim, power, bcfg, begin, end);
+  };
+
+  std::uint64_t lastCheckpointed = g0;
+  const auto writeCheckpoint = [&] {
+    if (job.checkpointPath.empty()) return;
+    Checkpoint cp;
+    cp.fingerprint = fingerprint;
+    cp.seed = cfg.seed;
+    cp.numSamples = numSamples;
+    cp.groupTraces = static_cast<std::uint32_t>(groupTraces);
+    cp.groupsTotal = groupsTotal;
+    cp.completedGroups = info.groupsCompleted;
+    cp.groupDigests = groupDigests;
+    info.lineage.push_back("g" + std::to_string(info.groupsCompleted) + "/" +
+                           std::to_string(groupsTotal) + ":" +
+                           hexOf(digestOfTraceSet(res.traces)));
+    cp.lineage = info.lineage;
+    cp.traces = res.traces;
+    cp.streamState = stream.serialize();
+    saveCheckpoint(job.checkpointPath, cp);
+    lastCheckpointed = info.groupsCompleted;
+    reg.counter("jobs.checkpoints_written").add(1);
+  };
+
+  info.groupsCompleted = g0;
+  stats::ConvergenceMonitor monitor({cfg.targetCiRel, /*minTraces=*/0});
+  bool stopped = false;
+  if (cfg.adaptive && g0 > 0) {
+    // Re-derive the stop decision the uninterrupted run took after the
+    // last committed batch — a resumed converged run adds no group.
+    res.estimate = stream.estimate();
+    monitor.observe(res.estimate);
+    if (monitor.converged()) {
+      info.stopReason = "ci-target";
+      stopped = true;
+    }
+  }
+
+  std::uint64_t g = g0;
+  while (!stopped && g < groupsTotal) {
+    if (job.stopAfterGroups > 0 && committedThisRun >= job.stopAfterGroups) {
+      info.truncated = true;
+      info.stopReason = "drain";
+      break;
+    }
+    if (outOfTime()) {
+      info.truncated = true;
+      info.stopReason = "deadline";
+      break;
+    }
+
+    deadlineTripped.store(false, std::memory_order_relaxed);
+    TraceSet group(numSamples);
+    SimEngine ranWith = engine;
+    try {
+      group = retryWithBackoff(
+          job.retry,
+          [&](std::uint32_t attempt) {
+            ranWith = engine;
+            if (job.beforeGroupHook) job.beforeGroupHook(g, attempt, engine);
+            return runGroup(g, engine);
+          },
+          [&](std::uint32_t, std::exception_ptr eptr) {
+            // Aborts — user or deadline — are not failures; never retry.
+            try {
+              std::rethrow_exception(eptr);
+            } catch (const obs::ProgressAborted&) {
+              return false;
+            } catch (...) {
+            }
+            if (causedByDivergence(eptr)) {
+              ++divergences;
+              if (divergences >= job.quarantineAfterDivergences) {
+                quarantine(g, "sim-diverged");
+              }
+            }
+            ++info.retries;
+            reg.counter("jobs.retries").add(1);
+            return info.retries <= cfg.trapBudget;
+          });
+    } catch (const obs::ProgressAborted& e) {
+      if (deadlineTripped.load(std::memory_order_relaxed)) {
+        info.truncated = true;
+        info.stopReason = "deadline";
+        break;
+      }
+      // A user abort propagates, denominated in the overall run.
+      throw obs::ProgressAborted("resilient-acquire",
+                                 res.traces.size() + e.done(), totalTraces);
+    } catch (const std::exception& e) {
+      std::throw_with_nested(WorkerError(
+          static_cast<std::size_t>(g),
+          "resilient group " + std::to_string(g) + "/" +
+              std::to_string(groupsTotal) + " (style " +
+              std::string(sbox.name()) + "): " + e.what()));
+    }
+
+    if (job.perturbHook) job.perturbHook(group, g, ranWith);
+
+    // Online spot-check: re-run a deterministic sample of fast-engine
+    // groups under Reference; a digest mismatch quarantines the fast
+    // engine and commits the reference bits.
+    if (spotEvery > 0 && ranWith != SimEngine::Reference &&
+        g % spotEvery == spotOffset) {
+      ++info.spotChecks;
+      reg.counter("jobs.spot_checks").add(1);
+      TraceSet ref = runGroup(g, SimEngine::Reference);
+      if (digestOfTraceSet(ref) != digestOfTraceSet(group)) {
+        quarantine(g, "spot-check-mismatch");
+        group = std::move(ref);
+      }
+    }
+
+    res.traces.append(group);
+    stream.addTraceSet(group);
+    groupDigests.push_back(digestOfTraceSet(group));
+    info.groupsCompleted = g + 1;
+    ++committedThisRun;
+    ++g;
+    reg.counter("jobs.groups_committed").add(1);
+
+    if (!job.checkpointPath.empty() &&
+        (job.checkpointEveryGroups == 0 ||
+         committedThisRun % job.checkpointEveryGroups == 0)) {
+      writeCheckpoint();
+    }
+
+    if (cfg.adaptive) {
+      res.estimate = stream.estimate();
+      monitor.observe(res.estimate);
+      if (monitor.converged()) {
+        info.stopReason = "ci-target";
+        stopped = true;
+      }
+    }
+  }
+
+  if (info.stopReason.empty()) {
+    info.stopReason = cfg.adaptive ? "max-traces" : "completed";
+  }
+  if (info.groupsCompleted != lastCheckpointed) writeCheckpoint();
+  if (stream.traces() > 0 && !cfg.adaptive) res.estimate = stream.estimate();
+  reg.gauge("jobs.groups_completed")
+      .set(static_cast<double>(info.groupsCompleted));
+  return res;
+}
+
+obs::Json resilienceJson(const ResilienceInfo& info) {
+  obs::Json j = obs::Json::object();
+  j["truncated"] = obs::Json(info.truncated);
+  j["resumed"] = obs::Json(info.resumed);
+  j["quarantined"] = obs::Json(info.quarantined);
+  j["groups_total"] = obs::Json(info.groupsTotal);
+  j["groups_completed"] = obs::Json(info.groupsCompleted);
+  j["group_traces"] = obs::Json(static_cast<std::uint64_t>(info.groupTraces));
+  j["retries"] = obs::Json(info.retries);
+  j["spot_checks"] = obs::Json(info.spotChecks);
+  j["stop_reason"] = obs::Json(info.stopReason);
+  obs::Json events = obs::Json::array();
+  for (const QuarantineEvent& ev : info.events) {
+    obs::Json e = obs::Json::object();
+    e["group"] = obs::Json(ev.group);
+    e["reason"] = obs::Json(ev.reason);
+    events.push_back(std::move(e));
+  }
+  j["quarantine_events"] = std::move(events);
+  obs::Json lineage = obs::Json::array();
+  for (const std::string& s : info.lineage) lineage.push_back(obs::Json(s));
+  j["checkpoint_lineage"] = std::move(lineage);
+  return j;
+}
+
+void fillResilience(obs::RunReport& report, const ResilienceInfo& info) {
+  report.setResilience(resilienceJson(info));
+}
+
+}  // namespace lpa::jobs

@@ -1,0 +1,166 @@
+#pragma once
+// Durable acquisition: checkpoint/resume, deadlines, retry, quarantine
+// (DESIGN.md §12).
+//
+// `resilientAcquire` runs the ordinary acquisition protocol — fixed
+// schedule or convergence-gated — group by group, committing each group
+// to a crash-safe checkpoint (jobs/checkpoint.h), so a long campaign
+// survives SIGKILL, node preemption, and transient worker failures
+// without losing committed work or its determinism guarantees.
+//
+// ## Resume invariant
+//
+// Group g of a fixed run is the schedule slice
+// [g*groupTraces, ...) collected by acquireRange(); group g of an
+// adaptive run is batch g under the adaptive substream
+// deriveStreamSeed(deriveStreamSeed(seed, kAdaptiveBatchStream), g) — in
+// both cases a pure function of (seed, g), never of wall clock, engine,
+// thread count, or earlier groups. Hence a resumed run's final TraceSet,
+// leakage estimate, and determinism digest are bit-identical to the
+// uninterrupted run's, for any interleaving of kills, engines, and
+// thread counts across sessions. The config fingerprint stored in the
+// checkpoint deliberately EXCLUDES engine and thread count — resuming a
+// Batch-engine run under Reference on a single thread is legal and
+// bit-identical; it INCLUDES everything that determines result bits
+// (netlist structure, seed, protocol knobs, estimator options).
+//
+// ## Failure handling
+//
+// Transient per-group failures retry with bounded exponential backoff
+// (RetryPolicy, trace/sharded_pool.h); a retried group re-derives the
+// same substreams so a retry is invisible in the result bits. Budget
+// exhaustion (cfg.trapBudget) escalates as a WorkerError naming the
+// group. A deadline (cfg.deadlineMs) cancels cooperatively through the
+// progress-abort path and returns the committed prefix with `truncated`
+// set instead of throwing. Engine quarantine guards the fast engines: a
+// deterministic random sample of committed groups is re-run under
+// Reference and digest-compared (spot-check); a mismatch or repeated
+// SimDiverged demotes the run to the Reference engine and records a
+// QuarantineEvent. All of it lands in the run report's /3 `resilience`
+// block via fillResilience().
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/run_report.h"
+#include "power/power_model.h"
+#include "sboxes/masked_sbox.h"
+#include "sim/event_sim.h"
+#include "stats/streaming_leakage.h"
+#include "trace/acquisition.h"
+#include "trace/sharded_pool.h"
+#include "trace/trace_set.h"
+
+namespace lpa::jobs {
+
+/// Stream index of the spot-check sampling domain; the substream family:
+/// ~0 = schedule shuffle, ~1 = fault campaign, ~2 = adaptive batches,
+/// ~3 = quarantine spot-check.
+inline constexpr std::uint64_t kSpotCheckStream = ~3ULL;
+
+/// One engine-quarantine decision: which group triggered it and why
+/// ("spot-check-mismatch" or "sim-diverged").
+struct QuarantineEvent {
+  std::uint64_t group = 0;
+  std::string reason;
+};
+
+/// The fate of one resilient run, rendered into the run report's /3
+/// `resilience` block by fillResilience().
+struct ResilienceInfo {
+  bool resumed = false;      ///< started from a loaded checkpoint
+  bool truncated = false;    ///< stopped early (deadline or drain)
+  bool quarantined = false;  ///< fast engine demoted to Reference
+  std::uint64_t groupsTotal = 0;
+  std::uint64_t groupsCompleted = 0;
+  std::uint32_t groupTraces = 0;
+  std::uint64_t retries = 0;     ///< retried group attempts (all causes)
+  std::uint64_t spotChecks = 0;  ///< reference re-runs performed
+  std::vector<QuarantineEvent> events;
+  /// "g<k>/<n>:<prefix digest>" per checkpoint written, across resumes.
+  std::vector<std::string> lineage;
+  /// "completed" | "ci-target" | "max-traces" | "deadline" | "drain".
+  std::string stopReason = "completed";
+};
+
+struct JobConfig {
+  /// Checkpoint file ("" = run without durability; deadline/retry/
+  /// quarantine still apply).
+  std::string checkpointPath;
+  /// Traces per commit group for fixed-schedule runs (adaptive runs group
+  /// by batch: groupTraces := cfg.batchSize). Any positive count works —
+  /// slices need no class balance of their own.
+  std::uint32_t groupTraces = 256;
+  /// Checkpoint cadence: write after every k-th committed group (a final
+  /// checkpoint is always written when the run stops with new work).
+  std::uint32_t checkpointEveryGroups = 1;
+  RetryPolicy retry;
+  /// Spot-check cadence: re-run ~1/k of committed fast-engine groups
+  /// under Reference and digest-compare (0 = off). Which residue of k is
+  /// sampled derives from Prng(deriveStreamSeed(seed, kSpotCheckStream)).
+  std::uint32_t spotCheckEveryGroups = 0;
+  /// Quarantine the fast engine after this many SimDiverged failures.
+  std::uint32_t quarantineAfterDivergences = 2;
+  /// Graceful drain for tests/operators: stop (truncated, "drain") after
+  /// committing this many groups IN THIS SESSION (0 = no limit).
+  std::uint64_t stopAfterGroups = 0;
+  /// Estimator options; part of the checkpoint fingerprint.
+  stats::StreamingLeakage::Options statsOpt;
+  /// Extra bits folded into the fingerprint (e.g. device age) so runs
+  /// that differ outside AcquisitionConfig cannot cross-resume.
+  std::uint64_t fingerprintExtra = 0;
+
+  // ## Test hooks (all default-empty; pure observers unless they throw)
+
+  /// Called before every group attempt — kill harnesses SIGKILL here,
+  /// fault-injection tests throw from here.
+  std::function<void(std::uint64_t group, std::uint32_t attempt,
+                     SimEngine engine)>
+      beforeGroupHook;
+  /// May corrupt a freshly acquired group (before the spot-check sees
+  /// it) to exercise quarantine; `engine` is the engine that ran it.
+  std::function<void(TraceSet& group, std::uint64_t groupIndex,
+                     SimEngine engine)>
+      perturbHook;
+  /// Deterministic clock for deadline tests: elapsed ms as a function of
+  /// groups committed this session (empty = steady_clock wall time).
+  std::function<double(std::uint64_t groupsCommittedThisRun)>
+      elapsedMsOverride;
+};
+
+struct ResilientResult {
+  TraceSet traces{0};
+  stats::LeakageEstimate estimate;
+  ResilienceInfo resilience;
+};
+
+/// Fingerprint binding a checkpoint to one logical run: netlist digest +
+/// style + protocol/estimator knobs + job.fingerprintExtra. Engine,
+/// thread count, deadline, cadence and retry knobs are excluded by
+/// design (see the resume invariant above).
+std::uint64_t acquisitionFingerprint(const MaskedSbox& sbox,
+                                     const PowerModel& power,
+                                     const AcquisitionConfig& cfg,
+                                     const JobConfig& job);
+
+/// Runs the durable acquisition described above. Honors cfg.adaptive
+/// (convergence-gated groups), cfg.deadlineMs and cfg.trapBudget; `sim`
+/// is the per-worker clone prototype exactly as in acquire(). Throws
+/// WorkerError on retry-budget exhaustion and obs::ProgressAborted on a
+/// user abort; a deadline or drain stop returns normally with
+/// resilience.truncated set.
+ResilientResult resilientAcquire(const MaskedSbox& sbox, EventSim& sim,
+                                 const PowerModel& power,
+                                 const AcquisitionConfig& cfg,
+                                 const JobConfig& job = {});
+
+/// The /3 `resilience` block for one run.
+obs::Json resilienceJson(const ResilienceInfo& info);
+
+/// resilienceJson + RunReport::setResilience in one call.
+void fillResilience(obs::RunReport& report, const ResilienceInfo& info);
+
+}  // namespace lpa::jobs

@@ -22,6 +22,50 @@ NetlistStats computeStats(const Netlist& nl) {
   return s;
 }
 
+namespace {
+
+inline void fnvBytes(std::uint64_t& h, const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+}
+
+inline void fnvU64(std::uint64_t& h, std::uint64_t v) {
+  for (int b = 0; b < 64; b += 8) {
+    h ^= (v >> b) & 0xFF;
+    h *= 0x100000001B3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t netlistDigest(const Netlist& nl) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  fnvU64(h, nl.numGates());
+  for (const Gate& g : nl.gates()) {
+    fnvU64(h, static_cast<std::uint64_t>(g.type));
+    fnvU64(h, g.numFanin);
+    for (std::uint8_t f = 0; f < g.numFanin; ++f) fnvU64(h, g.fanin[f]);
+  }
+  fnvU64(h, nl.inputs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    fnvU64(h, nl.inputs()[i]);
+    const std::string& name = nl.inputName(i);
+    fnvU64(h, name.size());
+    fnvBytes(h, name.data(), name.size());
+  }
+  fnvU64(h, nl.outputs().size());
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    fnvU64(h, nl.outputs()[i]);
+    const std::string& name = nl.outputName(i);
+    fnvU64(h, name.size());
+    fnvBytes(h, name.data(), name.size());
+  }
+  return h;
+}
+
 std::string formatStats(const std::string& name, const NetlistStats& s) {
   char buf[256];
   std::string out = name + ":\n";

@@ -27,6 +27,14 @@ struct NetlistStats {
 
 NetlistStats computeStats(const Netlist& nl);
 
+/// Structural FNV-1a digest of a netlist: folds every gate (type, fanin
+/// count, fanin nets in order) plus the primary-input and -output lists
+/// with their names. Two netlists share a digest iff they are structurally
+/// identical, so the checkpoint layer (jobs/checkpoint.h) uses it to refuse
+/// resuming a run against a different design. Stable within a machine/run
+/// lineage; not a cross-platform serialization format.
+std::uint64_t netlistDigest(const Netlist& nl);
+
 /// One formatted row block (multi-line) in the style of Table I.
 std::string formatStats(const std::string& name, const NetlistStats& s);
 

@@ -4,6 +4,8 @@
 #include <ctime>
 #include <stdexcept>
 
+#include "obs/fsio.h"
+
 #ifndef LPA_GIT_DESCRIBE
 #define LPA_GIT_DESCRIBE "unknown"
 #endif
@@ -51,6 +53,18 @@ void RunReport::setStatistics(Json block) {
   statistics_ = std::move(block);
 }
 
+void RunReport::setResilienceField(const std::string& key, Json value) {
+  resilience_[key] = std::move(value);
+}
+
+void RunReport::setResilience(Json block) {
+  if (!block.isObject()) {
+    throw std::invalid_argument(
+        "RunReport::setResilience: block must be a JSON object");
+  }
+  resilience_ = std::move(block);
+}
+
 const char* RunReport::gitDescribe() { return LPA_GIT_DESCRIBE; }
 
 Json RunReport::toJson() const {
@@ -67,37 +81,20 @@ Json RunReport::toJson() const {
   j["metrics"] = std::move(metrics);
   j["leakage"] = leakage_;
   j["statistics"] = statistics_;
+  j["resilience"] = resilience_;
   j["determinism_digest"] = Json(digest_);
   return j;
 }
 
 void RunReport::writeTo(const std::string& path) const {
-  const std::string text = toJson().dump(1) + "\n";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    throw std::runtime_error("cannot open run-report output file: " + path);
-  }
-  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = written == text.size() && std::fclose(f) == 0;
-  if (!ok) {
-    throw std::runtime_error("short write to run-report file: " + path);
-  }
+  atomicWriteFile(path, toJson().dump(1) + "\n");
 }
 
 void RunReport::appendTo(const std::string& path) const {
   Json line = Json::object();
   line["schema"] = ledgerSchemaId();
   line["report"] = toJson();
-  const std::string text = line.dump(-1) + "\n";
-  std::FILE* f = std::fopen(path.c_str(), "a");
-  if (!f) {
-    throw std::runtime_error("cannot open run-ledger file: " + path);
-  }
-  const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
-  const bool ok = written == text.size() && std::fclose(f) == 0;
-  if (!ok) {
-    throw std::runtime_error("short write to run-ledger file: " + path);
-  }
+  durableAppendLine(path, line.dump(-1) + "\n");
 }
 
 std::string RunReport::validate(const Json& j) {
@@ -110,8 +107,10 @@ std::string RunReport::validate(const Json& j) {
   };
   if (auto e = str("schema"); !e.empty()) return e;
   const std::string& schema = j.find("schema")->asString();
-  if (schema != schemaId() && schema != legacySchemaId()) {
-    return "schema is neither " + std::string(schemaId()) + " nor " +
+  if (schema != schemaId() && schema != previousSchemaId() &&
+      schema != legacySchemaId()) {
+    return "schema is none of " + std::string(schemaId()) + ", " +
+           std::string(previousSchemaId()) + ", " +
            std::string(legacySchemaId());
   }
   if (auto e = str("name"); !e.empty()) return e;
@@ -160,10 +159,10 @@ std::string RunReport::validate(const Json& j) {
     }
   }
 
-  // /2 requires the statistics block; its typed keys are validated when
-  // present (the block is otherwise open for run-specific detail like the
-  // dashboard's per-style matrix).
-  if (schema == std::string(schemaId())) {
+  // /2 and /3 require the statistics block; its typed keys are validated
+  // when present (the block is otherwise open for run-specific detail like
+  // the dashboard's per-style matrix).
+  if (schema != std::string(legacySchemaId())) {
     const Json* stats = j.find("statistics");
     if (!stats) return "missing key: statistics";
     if (!stats->isObject()) return "statistics is not an object";
@@ -183,6 +182,57 @@ std::string RunReport::validate(const Json& j) {
     }
     if (const Json* v = stats->find("adaptive"); v && !v->isBool()) {
       return "statistics.adaptive is not a bool";
+    }
+  }
+
+  // /3 requires the resilience block (empty for a plain run); typed keys
+  // are validated when present so a malformed durable-run summary is
+  // rejected rather than silently mis-read by the dashboard or gate.
+  if (schema == std::string(schemaId())) {
+    const Json* res = j.find("resilience");
+    if (!res) return "missing key: resilience";
+    if (!res->isObject()) return "resilience is not an object";
+    for (const char* key : {"truncated", "resumed", "quarantined"}) {
+      if (const Json* v = res->find(key); v && !v->isBool()) {
+        return std::string("resilience.") + key + " is not a bool";
+      }
+    }
+    for (const char* key : {"groups_total", "groups_completed",
+                            "group_traces", "retries", "spot_checks"}) {
+      if (const Json* v = res->find(key);
+          v && (!v->isNumber() || v->asNumber() < 0.0)) {
+        return std::string("resilience.") + key +
+               " is not a non-negative number";
+      }
+    }
+    if (const Json* v = res->find("stop_reason"); v && !v->isString()) {
+      return "resilience.stop_reason is not a string";
+    }
+    if (const Json* v = res->find("checkpoint_lineage")) {
+      if (!v->isArray()) return "resilience.checkpoint_lineage is not an array";
+      for (std::size_t i = 0; i < v->size(); ++i) {
+        if (!v->at(i).isString()) {
+          return "resilience.checkpoint_lineage[" + std::to_string(i) +
+                 "] is not a string";
+        }
+      }
+    }
+    if (const Json* v = res->find("quarantine_events")) {
+      if (!v->isArray()) return "resilience.quarantine_events is not an array";
+      for (std::size_t i = 0; i < v->size(); ++i) {
+        const Json& ev = v->at(i);
+        const std::string at =
+            "resilience.quarantine_events[" + std::to_string(i) + "]";
+        if (!ev.isObject()) return at + " is not an object";
+        const Json* group = ev.find("group");
+        if (!group || !group->isNumber() || group->asNumber() < 0.0) {
+          return at + ".group is not a non-negative number";
+        }
+        const Json* reason = ev.find("reason");
+        if (!reason || !reason->isString() || reason->asString().empty()) {
+          return at + ".reason missing or empty";
+        }
+      }
     }
   }
   return "";

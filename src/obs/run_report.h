@@ -5,11 +5,11 @@
 // scale leave auditable artifacts and the perf trajectory (BENCH_*.json)
 // populates from real runs instead of hand-copied numbers.
 //
-// Schema "lpa-run-report/2" (validated by RunReport::validate and the CI
+// Schema "lpa-run-report/3" (validated by RunReport::validate and the CI
 // smoke job):
 //
 //   {
-//     "schema": "lpa-run-report/2",
+//     "schema": "lpa-run-report/3",
 //     "name": "<run name>",                  // required, non-empty
 //     "git": "<git describe at build time>", // required
 //     "timestamp_unix": <seconds>,           // required
@@ -19,7 +19,8 @@
 //     "metrics": { "counters": {...}, "gauges": {...},
 //                  "histograms": {...} },
 //     "leakage": { "<key>": number, ... },
-//     "statistics": { ... },                 // /2: statistical summary
+//     "statistics": { ... },                 // /2+: statistical summary
+//     "resilience": { ... },                 // /3: durable-run summary
 //     "determinism_digest": "<digest as %.17g string or free-form>"
 //   }
 //
@@ -28,15 +29,26 @@
 // (`traces_total`, `min_class_count`), CI half-widths
 // (`total_ci_halfwidth`, `total_ci_rel`, ...), and the adaptive-stop reason
 // (`stop_reason`: "fixed" | "ci-target" | "max-traces"). Typed keys are
-// validated when present. validate() accepts both /1 (no statistics) and /2
-// documents, so readers handle pre-stats reports.
+// validated when present.
+//
+// The /3 `resilience` block records a durable run's fate (jobs/resilient.h
+// fills it from a ResilienceInfo): `truncated` / `resumed` / `quarantined`
+// flags, `groups_total` / `groups_completed` / `retries` / `spot_checks`
+// counts, `stop_reason` ("completed" | "ci-target" | "max-traces" |
+// "deadline" | "drain"), `quarantine_events` (array of {group, reason})
+// and `checkpoint_lineage` (array of "g<k>/<n>:<digest>" strings). Typed
+// keys are validated when present; a plain run leaves the block empty.
+// validate() accepts /1 (neither block), /2 (statistics only) and /3
+// documents, so readers handle reports from every era.
 //
 // ## Run ledger (schema "lpa-run-ledger/1")
 //
 // `appendTo()` appends the report to a JSONL ledger — one compact line
-//   {"schema": "lpa-run-ledger/1", "report": { <lpa-run-report/2> }}
+//   {"schema": "lpa-run-ledger/1", "report": { <lpa-run-report/3> }}
 // per run — which tools/lpa_dashboard.py renders and tools/leakage_gate.py
-// gates against the golden ordering.
+// gates against the golden ordering. Appends are fsync'd before close
+// (obs/fsio.h), so a crash can tear at most the trailing line, which the
+// tools skip with a warning.
 
 #include <cstdint>
 #include <string>
@@ -71,20 +83,31 @@ class RunReport {
   void setStatistic(const std::string& key, Json value);
   /// Replaces the whole `statistics` block (must be an object).
   void setStatistics(Json block);
+  /// Sets one key of the /3 `resilience` block.
+  void setResilienceField(const std::string& key, Json value);
+  /// Replaces the whole `resilience` block (must be an object;
+  /// jobs/resilient.h's fillResilience builds it from a ResilienceInfo).
+  void setResilience(Json block);
 
   Json toJson() const;
-  /// Writes toJson() to `path`; throws std::runtime_error on IO failure.
+  /// Atomically replaces `path` with toJson() (write temp + fsync + rename,
+  /// obs/fsio.h) so a crash mid-write can never leave a torn report that
+  /// poisons tools/bench_compare.py; throws std::runtime_error on failure.
   void writeTo(const std::string& path) const;
   /// Appends one compact `lpa-run-ledger/1` line wrapping this report to
-  /// the JSONL ledger at `path` (created if absent); throws on IO failure.
+  /// the JSONL ledger at `path` (created if absent), fsync'd before close
+  /// so the append is durable on return; throws on IO failure.
   void appendTo(const std::string& path) const;
 
-  static const char* schemaId() { return "lpa-run-report/2"; }
-  /// The previous report schema, still accepted by validate().
+  static const char* schemaId() { return "lpa-run-report/3"; }
+  /// The /2 schema (statistics, no resilience), still accepted by
+  /// validate().
+  static const char* previousSchemaId() { return "lpa-run-report/2"; }
+  /// The original schema (no statistics), still accepted by validate().
   static const char* legacySchemaId() { return "lpa-run-report/1"; }
   static const char* ledgerSchemaId() { return "lpa-run-ledger/1"; }
-  /// "" when `j` conforms to the schema (/1 or /2), otherwise the first
-  /// violation.
+  /// "" when `j` conforms to the schema (/1, /2 or /3), otherwise the
+  /// first violation.
   static std::string validate(const Json& j);
   /// "" when `j` is a conforming ledger line (wrapper schema + embedded
   /// report), otherwise the first violation.
@@ -101,6 +124,7 @@ class RunReport {
   Json leakage_ = Json::object();
   Json metrics_ = Json::object();
   Json statistics_ = Json::object();
+  Json resilience_ = Json::object();
   std::string digest_;
 };
 

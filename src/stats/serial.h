@@ -1,0 +1,59 @@
+#pragma once
+// Tiny host-order byte (de)serialization helpers, shared by the estimator
+// state snapshots (stats/accumulator.h, stats/streaming_leakage.h) and the
+// acquisition checkpoint files (jobs/checkpoint.h).
+//
+// Checkpoints are same-machine artifacts (a resumed run reopens its own
+// file), so values are stored in host byte order; torn or corrupted files
+// are caught by the checkpoint's trailing checksum and by every get*
+// returning false on truncation instead of reading past the buffer.
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lpa::stats::serial {
+
+inline void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
+inline void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
+inline void putF64(std::vector<std::uint8_t>& out, double v) {
+  const std::size_t n = out.size();
+  out.resize(n + sizeof(v));
+  std::memcpy(out.data() + n, &v, sizeof(v));
+}
+
+template <typename T>
+inline bool getRaw(const std::uint8_t* buf, std::size_t size,
+                   std::size_t& pos, T& v) {
+  if (size - pos < sizeof(T) || pos > size) return false;
+  std::memcpy(&v, buf + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
+}
+
+inline bool getU32(const std::uint8_t* buf, std::size_t size,
+                   std::size_t& pos, std::uint32_t& v) {
+  return getRaw(buf, size, pos, v);
+}
+
+inline bool getU64(const std::uint8_t* buf, std::size_t size,
+                   std::size_t& pos, std::uint64_t& v) {
+  return getRaw(buf, size, pos, v);
+}
+
+inline bool getF64(const std::uint8_t* buf, std::size_t size,
+                   std::size_t& pos, double& v) {
+  return getRaw(buf, size, pos, v);
+}
+
+}  // namespace lpa::stats::serial

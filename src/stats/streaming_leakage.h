@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/leakage.h"
@@ -101,6 +102,17 @@ class StreamingLeakage {
   /// leakage; replicate b draws folds from Prng(deriveStreamSeed(seed, b)).
   AggregateCi bootstrapTotalCi(std::uint64_t seed,
                                std::uint32_t replicates = 200) const;
+
+  /// Exact byte snapshot of the estimator (options, global accumulator,
+  /// every fold, the insertion counter). Restoring it with deserialize()
+  /// and folding the remaining traces is bit-identical to never having
+  /// stopped — the resume invariant of jobs/checkpoint.h.
+  std::vector<std::uint8_t> serialize() const;
+
+  /// Rebuilds an estimator from serialize() bytes; std::nullopt on a torn
+  /// or malformed buffer.
+  static std::optional<StreamingLeakage> deserialize(
+      const std::uint8_t* buf, std::size_t size);
 
  private:
   /// Accumulator holding all folds except `skip` (numFolds_ for "none").

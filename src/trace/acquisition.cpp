@@ -194,44 +194,46 @@ std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
   return schedule;
 }
 
-TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
-                 const PowerModel& power, const AcquisitionConfig& cfg) {
-  if (cfg.adaptive) {
-    return stats::adaptiveAcquire(sbox, sim, power, cfg).traces;
-  }
-  const std::vector<std::uint8_t> schedule =
-      balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
-  const auto describe = [&](std::size_t i) {
+namespace {
+
+/// Collects schedule slice [begin, end): the shared engine-dispatch body of
+/// acquire() (the full range) and acquireRange() (a checkpoint group).
+/// Every per-trace stream is derived from the trace's *global* index, so
+/// slicing is invisible in the result bits.
+TraceSet acquireSlice(const MaskedSbox& sbox, EventSim& sim,
+                      const PowerModel& power, const AcquisitionConfig& cfg,
+                      const std::vector<std::uint8_t>& schedule,
+                      std::size_t begin, std::size_t end) {
+  const std::size_t n = end - begin;
+  const auto describe = [&](std::size_t j) {
+    const std::size_t i = begin + j;
     return "acquire trace " + std::to_string(i) + " (class " +
            std::to_string(static_cast<int>(schedule[i])) + ", style " +
            std::string(sbox.name()) + ")";
   };
-  const std::uint32_t threads =
-      resolveWorkerThreads(cfg.numThreads, schedule.size());
-  const SimEngine engine =
-      resolveEngine(cfg.engine, sim, power, schedule.size());
+  const std::uint32_t threads = resolveWorkerThreads(cfg.numThreads, n);
+  const SimEngine engine = resolveEngine(cfg.engine, sim, power, n);
 
   if (engine == SimEngine::Batch) {
-    // Bit-parallel path: lane l of group g is trace 64*g + l, and each
-    // lane draws its masks and noise seed from the trace's own stream —
-    // the per-trace protocol is the reference body's verbatim, so the
+    // Bit-parallel path: lane l of group g is trace begin + 64*g + l, and
+    // each lane draws its masks and noise seed from the trace's own stream
+    // — the per-trace protocol is the reference body's verbatim, so the
     // TraceSet is bit-identical to the scalar engines' regardless of how
     // traces fall into groups.
     const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
     BatchSim bsim(design, sim.options());
     bsim.attachMetrics(sim.metricsRegistry());
-    const std::size_t n = schedule.size();
     const auto describeGroup = [&](std::size_t g) {
-      const std::size_t base = g * BatchSim::kLanes;
+      const std::size_t base = begin + g * BatchSim::kLanes;
       return "acquire traces [" + std::to_string(base) + ", " +
              std::to_string(std::min<std::size_t>(base + BatchSim::kLanes,
-                                                  n)) +
+                                                  end)) +
              ") (style " + std::string(sbox.name()) + ", batch engine)";
     };
     const auto body = [&](BatchSim& worker, std::size_t g, TraceSet& out) {
-      const std::size_t base = g * BatchSim::kLanes;
+      const std::size_t base = begin + g * BatchSim::kLanes;
       const std::size_t lanes =
-          std::min<std::size_t>(BatchSim::kLanes, n - base);
+          std::min<std::size_t>(BatchSim::kLanes, end - base);
       std::vector<std::vector<std::uint8_t>> inits(lanes), fins(lanes);
       std::vector<std::uint64_t> seeds(lanes);
       for (std::size_t l = 0; l < lanes; ++l) {
@@ -268,7 +270,8 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
     const CompiledDesign design(sim.netlist(), sim.delayModel(), power);
     CompiledSim csim(design, sim.options());
     csim.attachMetrics(sim.metricsRegistry());
-    const auto body = [&](CompiledSim& worker, std::size_t i, TraceSet& out) {
+    const auto body = [&](CompiledSim& worker, std::size_t j, TraceSet& out) {
+      const std::size_t i = begin + j;
       const std::uint8_t cls = schedule[i];
       Prng rng(deriveStreamSeed(cfg.seed, i));
       const std::vector<std::uint8_t> init =
@@ -283,11 +286,12 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
       }
       out.add(cls, trace);
     };
-    return shardedAcquire(csim, power.options().numSamples, schedule.size(),
-                          threads, body, describe, cfg.progress, "acquire");
+    return shardedAcquire(csim, power.options().numSamples, n, threads, body,
+                          describe, cfg.progress, "acquire");
   }
 
-  const auto body = [&](EventSim& worker, std::size_t i, TraceSet& out) {
+  const auto body = [&](EventSim& worker, std::size_t j, TraceSet& out) {
+    const std::size_t i = begin + j;
     const std::uint8_t cls = schedule[i];
     // All randomness of trace i — masks, gadget bits, noise seed — comes
     // from this stream and hence depends only on (cfg.seed, i).
@@ -304,8 +308,40 @@ TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
     out.add(cls, power.sample(transitions, rng.next() | 1ULL));
   };
 
-  return shardedAcquire(sim, power.options().numSamples, schedule.size(),
-                        threads, body, describe, cfg.progress, "acquire");
+  return shardedAcquire(sim, power.options().numSamples, n, threads, body,
+                        describe, cfg.progress, "acquire");
+}
+
+}  // namespace
+
+TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
+                 const PowerModel& power, const AcquisitionConfig& cfg) {
+  if (cfg.adaptive) {
+    return stats::adaptiveAcquire(sbox, sim, power, cfg).traces;
+  }
+  const std::vector<std::uint8_t> schedule =
+      balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
+  return acquireSlice(sbox, sim, power, cfg, schedule, 0, schedule.size());
+}
+
+TraceSet acquireRange(const MaskedSbox& sbox, EventSim& sim,
+                      const PowerModel& power, const AcquisitionConfig& cfg,
+                      std::size_t begin, std::size_t end) {
+  if (cfg.adaptive) {
+    throw std::invalid_argument(
+        "acquireRange: cfg.adaptive must be false (adaptive runs are "
+        "sliced by batch, not by schedule index)");
+  }
+  const std::vector<std::uint8_t> schedule =
+      balancedClassSchedule(cfg.tracesPerClass, cfg.seed);
+  if (begin > end || end > schedule.size()) {
+    throw std::invalid_argument(
+        "acquireRange: invalid slice [" + std::to_string(begin) + ", " +
+        std::to_string(end) + ") of " + std::to_string(schedule.size()) +
+        " traces");
+  }
+  if (begin == end) return TraceSet(power.options().numSamples);
+  return acquireSlice(sbox, sim, power, cfg, schedule, begin, end);
 }
 
 TraceSet acquireKeyed(const MaskedSbox& sbox, EventSim& sim,

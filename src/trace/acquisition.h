@@ -120,6 +120,22 @@ struct AcquisitionConfig {
   /// Adaptive trace budget; 0 = 16 * tracesPerClass. Must be a multiple
   /// of 16.
   std::uint64_t maxTraces = 0;
+
+  // ## Durable (deadline-bounded, retrying) acquisition
+  //
+  // These knobs are honored by the resilience layer (jobs/resilient.h),
+  // which runs acquisition group-by-group with checkpoint/resume; plain
+  // acquire() ignores them (it has no partial-result channel to return a
+  // truncated TraceSet through).
+
+  /// Wall-clock budget in milliseconds for a resilient run (0 = none).
+  /// The deadline cancels cooperatively through the ProgressMeter abort
+  /// path; the run returns the committed prefix with `truncated` set in
+  /// its ResilienceInfo instead of throwing.
+  std::uint64_t deadlineMs = 0;
+  /// Total retried group attempts a resilient run tolerates before the
+  /// per-group failure escalates as a structured WorkerError.
+  std::uint32_t trapBudget = 16;
 };
 
 /// The Fig. 5 protocol's balanced, shuffled 16-class schedule: 16 *
@@ -137,6 +153,17 @@ std::vector<std::uint8_t> balancedClassSchedule(std::uint32_t tracesPerClass,
 TraceSet acquire(const MaskedSbox& sbox, EventSim& sim,
                  const PowerModel& power,
                  const AcquisitionConfig& cfg = {});
+
+/// Collects the contiguous slice [begin, end) of the run acquire() would
+/// collect for `cfg` (global schedule indices; end <= 16 * tracesPerClass).
+/// Because trace i draws everything from Prng(deriveStreamSeed(seed, i)),
+/// concatenating slices in index order is bit-identical to one full
+/// acquire() — the property the checkpoint/resume layer (jobs/resilient.h)
+/// is built on. Engine and thread count are free per slice. cfg.adaptive
+/// must be false (adaptive runs are sliced by batch, not by index).
+TraceSet acquireRange(const MaskedSbox& sbox, EventSim& sim,
+                      const PowerModel& power, const AcquisitionConfig& cfg,
+                      std::size_t begin, std::size_t end);
 
 /// Variant for attack studies (CPA): the final value is `plain ^ key` with
 /// uniformly random `plain`; the trace label is the *plaintext* nibble.

@@ -190,7 +190,7 @@ TEST(RunReport, StatisticsBlockRoundTrips) {
   report.setStatistic("adaptive", obs::Json(true));
   const obs::Json j = report.toJson();
   EXPECT_EQ(obs::RunReport::validate(j), "");
-  EXPECT_EQ(j.find("schema")->asString(), "lpa-run-report/2");
+  EXPECT_EQ(j.find("schema")->asString(), "lpa-run-report/3");
   const obs::Json* st = j.find("statistics");
   ASSERT_NE(st, nullptr);
   EXPECT_EQ(st->find("traces_total")->asNumber(), 3712.0);
@@ -219,10 +219,84 @@ TEST(RunReport, ValidateAcceptsLegacySchemaAndRejectsUnknown) {
   legacy["schema"] = obs::Json(obs::RunReport::legacySchemaId());
   EXPECT_EQ(obs::RunReport::validate(legacy), "");
 
+  // A /2 document (statistics, no resilience block) must still validate.
+  obs::Json v2 = obs::Json::object();
+  for (const char* key : {"name", "git", "timestamp_unix", "seed", "params",
+                          "phases", "metrics", "leakage", "statistics",
+                          "determinism_digest"}) {
+    v2[key] = *j.find(key);
+  }
+  v2["schema"] = obs::Json(obs::RunReport::previousSchemaId());
+  EXPECT_EQ(obs::RunReport::validate(v2), "");
+
   // Unknown future schema: rejected.
   obs::Json future = j;
-  future["schema"] = obs::Json("lpa-run-report/3");
+  future["schema"] = obs::Json("lpa-run-report/4");
   EXPECT_NE(obs::RunReport::validate(future), "");
+}
+
+TEST(RunReport, ValidateRejectsMalformedResilience) {
+  obs::Json j = makeReport().toJson();
+  ASSERT_EQ(obs::RunReport::validate(j), "");  // empty block is fine
+
+  obs::Json missing = obs::Json::object();
+  for (const auto& [k, v] : j.items()) {
+    if (k != "resilience") missing[k] = v;
+  }
+  EXPECT_NE(obs::RunReport::validate(missing), "");
+
+  obs::Json notObject = j;
+  notObject["resilience"] = obs::Json(1.0);
+  EXPECT_NE(obs::RunReport::validate(notObject), "");
+
+  obs::Json badFlag = j;
+  badFlag["resilience"]["truncated"] = obs::Json("yes");
+  EXPECT_NE(obs::RunReport::validate(badFlag), "");
+
+  obs::Json negCount = j;
+  negCount["resilience"]["groups_completed"] = obs::Json(-1.0);
+  EXPECT_NE(obs::RunReport::validate(negCount), "");
+
+  obs::Json badStop = j;
+  badStop["resilience"]["stop_reason"] = obs::Json(2.0);
+  EXPECT_NE(obs::RunReport::validate(badStop), "");
+
+  obs::Json badLineage = j;
+  badLineage["resilience"]["checkpoint_lineage"] = obs::Json::array();
+  badLineage["resilience"]["checkpoint_lineage"].push_back(obs::Json(1.0));
+  EXPECT_NE(obs::RunReport::validate(badLineage), "");
+
+  obs::Json badEvent = j;
+  obs::Json ev = obs::Json::object();
+  ev["group"] = obs::Json(3.0);
+  ev["reason"] = obs::Json("");  // empty reason: rejected
+  badEvent["resilience"]["quarantine_events"] = obs::Json::array();
+  badEvent["resilience"]["quarantine_events"].push_back(ev);
+  EXPECT_NE(obs::RunReport::validate(badEvent), "");
+
+  // A complete well-formed block validates.
+  obs::Json good = j;
+  obs::Json res = obs::Json::object();
+  res["truncated"] = obs::Json(true);
+  res["resumed"] = obs::Json(true);
+  res["quarantined"] = obs::Json(true);
+  res["groups_total"] = obs::Json(8.0);
+  res["groups_completed"] = obs::Json(5.0);
+  res["group_traces"] = obs::Json(128.0);
+  res["retries"] = obs::Json(1.0);
+  res["spot_checks"] = obs::Json(2.0);
+  res["stop_reason"] = obs::Json("deadline");
+  obs::Json lineage = obs::Json::array();
+  lineage.push_back(obs::Json("g5/8:0123456789abcdef"));
+  res["checkpoint_lineage"] = lineage;
+  obs::Json events = obs::Json::array();
+  obs::Json qe = obs::Json::object();
+  qe["group"] = obs::Json(4.0);
+  qe["reason"] = obs::Json("spot-check-mismatch");
+  events.push_back(qe);
+  res["quarantine_events"] = events;
+  good["resilience"] = res;
+  EXPECT_EQ(obs::RunReport::validate(good), "");
 }
 
 TEST(RunReport, ValidateRejectsMalformedStatistics) {

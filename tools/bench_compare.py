@@ -5,8 +5,8 @@ Compares the current benchmark outputs against the checked-in baseline
 (BENCH_baseline.json) and exits non-zero on a regression. Two kinds of
 inputs are understood, auto-detected per file:
 
-  * lpa run reports     ("schema": "lpa-run-report/1" or /2) — written by
-    the bench binaries with --json (e.g. bench_acquire_scaling).
+  * lpa run reports     ("schema": "lpa-run-report/1", /2 or /3) — written
+    by the bench binaries with --json (e.g. bench_acquire_scaling).
   * google-benchmark    ({"benchmarks": [...]}) — written by bench_perf
     with --benchmark_out=<file> --benchmark_out_format=json.
 
@@ -47,7 +47,8 @@ import json
 import sys
 
 BASELINE_SCHEMA = "lpa-bench-baseline/1"
-RUN_REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2")
+RUN_REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2",
+                      "lpa-run-report/3")
 
 # Run-report params pinned (must equal the baseline before digests are
 # comparable), contract booleans, ratio params, and throughput params.

@@ -27,7 +27,8 @@ import json
 import sys
 
 LEDGER_SCHEMA = "lpa-run-ledger/1"
-REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2")
+REPORT_SCHEMAS = ("lpa-run-report/1", "lpa-run-report/2",
+                  "lpa-run-report/3")
 
 # Paper ordering of the styles (Fig. 7, most to least leaky) — used for a
 # stable x-axis; styles absent from the matrix are simply skipped.

@@ -130,6 +130,22 @@ class LoadInputs(unittest.TestCase):
         finally:
             os.unlink(path)
 
+    def test_schema3_report_with_resilience_block_loads(self):
+        # Reports from the durable-acquisition era (lpa-run-report/3 with a
+        # resilience block) must flow through the gate like /2 reports.
+        r3 = report(FULL_PARAMS)
+        r3["schema"] = "lpa-run-report/3"
+        r3["resilience"] = {"truncated": False, "resumed": True,
+                            "stop_reason": "completed"}
+        with tempfile.TemporaryDirectory() as d:
+            path = os.path.join(d, "r3.json")
+            with open(path, "w") as f:
+                json.dump(r3, f)
+            reports, _ = bench_compare.load_inputs([path])
+        self.assertIn("bench_acquire_scaling", reports)
+        gate, _ = run(baseline_for(FULL_PARAMS), FULL_PARAMS)
+        self.assertEqual(gate.failures, [])
+
     def test_gbench_and_report_split(self):
         gb = {"benchmarks": [
             {"name": "BM_x", "run_type": "iteration", "real_time": 12.5},
